@@ -1,0 +1,51 @@
+// Extension experiment (§VI future work): GroupTC-H — GroupTC's chunked
+// scheduling with hash probes instead of binary search — against GroupTC
+// and TRUST across the datasets. The paper predicts the hash probe is what
+// TRUST holds over GroupTC on large high-degree graphs; this harness
+// measures whether grafting it onto the chunked schedule closes that gap.
+#include <iostream>
+
+#include "framework/sweep.hpp"
+#include "framework/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  std::vector<framework::AlgorithmEntry> algos;
+  for (const auto& e : framework::extended_algorithms()) {
+    if (e.name == "TRUST" || e.name == "GroupTC" || e.name == "GroupTC-H") {
+      algos.push_back(e);
+    }
+  }
+  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+
+  std::cout << "== Extension: GroupTC-H vs GroupTC vs TRUST (ms), " << opt.gpu
+            << ", edge cap " << opt.max_edges << " ==\n";
+  framework::ResultTable table({"dataset", "avg_deg", "TRUST", "GroupTC",
+                                "GroupTC-H", "H/base", "H/TRUST"});
+  for (const auto& row : rows) {
+    const double trust = row.outcomes[0].result.total.time_ms;
+    const double base = row.outcomes[1].result.total.time_ms;
+    const double hash = row.outcomes[2].result.total.time_ms;
+    table.add_row({row.graph.name,
+                   framework::ResultTable::fmt(row.graph.stats.avg_degree, 1),
+                   framework::ResultTable::fmt(trust, 4),
+                   framework::ResultTable::fmt(base, 4),
+                   framework::ResultTable::fmt(hash, 4),
+                   framework::ResultTable::fmt(base / hash, 2) + "x",
+                   framework::ResultTable::fmt(trust / hash, 2) + "x"});
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 12: global_load_requests of every implementation over the 19
+// datasets — the "total amount of work" factor the paper credits for
+// Polak's small-dataset dominance (expected: Polak and GroupTC lowest,
+// Hu highest).
+#include <iostream>
+
+#include "framework/sweep.hpp"
+#include "framework/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  const auto& algos = framework::all_algorithms();
+  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+
+  std::cout << "== Figure 12: global load requests, " << opt.gpu << ", edge cap "
+            << opt.max_edges << " ==\n";
+  std::vector<std::string> cols = {"dataset", "E"};
+  for (const auto& a : algos) cols.push_back(a.name);
+  framework::ResultTable table(cols);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {
+        row.graph.name, std::to_string(row.graph.stats.num_undirected_edges)};
+    for (const auto& out : row.outcomes) {
+      cells.push_back(std::to_string(out.result.total.metrics.global_load_requests));
+    }
+    table.add_row(std::move(cells));
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 13: (a) warp_execution_efficiency and (b)
+// gld_transactions_per_request for every implementation over the 19
+// datasets — the workload-imbalance and memory-access-pattern factors of
+// the paper's analysis (expected: Hu/TRUST/GroupTC near-perfect efficiency,
+// Bisson/Polak lowest; hash/fine-grained codes lowest tx/req, Polak and
+// GroupTC highest).
+#include <iostream>
+
+#include "framework/sweep.hpp"
+#include "framework/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  const auto& algos = framework::all_algorithms();
+  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+
+  std::vector<std::string> cols = {"dataset"};
+  for (const auto& a : algos) cols.push_back(a.name);
+
+  std::cout << "== Figure 13(a): warp execution efficiency (%), " << opt.gpu
+            << ", edge cap " << opt.max_edges << " ==\n";
+  framework::ResultTable eff(cols);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.graph.name};
+    for (const auto& out : row.outcomes) {
+      cells.push_back(framework::ResultTable::fmt(
+          out.result.total.metrics.warp_execution_efficiency() * 100.0, 1));
+    }
+    eff.add_row(std::move(cells));
+  }
+  if (opt.csv) {
+    eff.print_csv(std::cout);
+  } else {
+    eff.print_aligned(std::cout);
+  }
+
+  std::cout << "\n== Figure 13(b): gld_transactions_per_request ==\n";
+  framework::ResultTable tx(cols);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.graph.name};
+    for (const auto& out : row.outcomes) {
+      cells.push_back(framework::ResultTable::fmt(
+          out.result.total.metrics.gld_transactions_per_request(), 2));
+    }
+    tx.add_row(std::move(cells));
+  }
+  if (opt.csv) {
+    tx.print_csv(std::cout);
+  } else {
+    tx.print_aligned(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 15: GroupTC versus Polak and TRUST over the 19 datasets, with the
+// speedup columns the paper quotes (GroupTC over Polak: 0.85-3.83x, losing
+// only on the two smallest datasets; GroupTC over TRUST: 1.09-2.92x on
+// small/medium, 0.94-1.01x on large).
+#include <iostream>
+
+#include "framework/sweep.hpp"
+#include "framework/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  const auto& algos = framework::headline_algorithms();  // Polak, TRUST, GroupTC
+  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+
+  std::cout << "== Figure 15: GroupTC vs Polak vs TRUST (ms), " << opt.gpu
+            << ", edge cap " << opt.max_edges << " ==\n";
+  framework::ResultTable table({"dataset", "E", "Polak", "TRUST", "GroupTC",
+                                "GroupTC/Polak", "GroupTC/TRUST"});
+  int grouptc_beats_polak = 0;
+  for (const auto& row : rows) {
+    const double polak = row.outcomes[0].result.total.time_ms;
+    const double trust = row.outcomes[1].result.total.time_ms;
+    const double grouptc = row.outcomes[2].result.total.time_ms;
+    if (grouptc < polak) ++grouptc_beats_polak;
+    table.add_row({row.graph.name,
+                   std::to_string(row.graph.stats.num_undirected_edges),
+                   framework::ResultTable::fmt(polak, 4),
+                   framework::ResultTable::fmt(trust, 4),
+                   framework::ResultTable::fmt(grouptc, 4),
+                   framework::ResultTable::fmt(polak / grouptc, 2) + "x",
+                   framework::ResultTable::fmt(trust / grouptc, 2) + "x"});
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+  }
+  std::cout << "GroupTC beats Polak on " << grouptc_beats_polak << "/" << rows.size()
+            << " datasets (paper: 17/19)\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// §II-B micro-benchmark: the four intersection primitives (Merge, Binary
+// Search, Hash, BitMap) on synthetic sorted neighbor lists, across list
+// sizes and size ratios. This is a host-CPU google-benchmark — it measures
+// algorithmic work (comparisons/probes), the quantity the paper's
+// "total amount of work" factor is about, not GPU scheduling.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gen/rng.hpp"
+
+namespace {
+
+using tcgpu::gen::SplitMix64;
+
+/// Two sorted, duplicate-free lists with ~10% overlap, sizes n and n*ratio.
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> make_lists(
+    std::uint32_t n, std::uint32_t ratio, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const std::uint32_t universe = n * ratio * 8;
+  auto draw = [&](std::uint32_t count) {
+    std::vector<std::uint32_t> v;
+    v.reserve(count);
+    while (v.size() < count) {
+      const auto x = static_cast<std::uint32_t>(rng.uniform(universe));
+      v.push_back(x);
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  return {draw(n), draw(n * ratio)};
+}
+
+std::uint64_t intersect_merge(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::uint64_t intersect_binsearch(const std::vector<std::uint32_t>& keys,
+                                  const std::vector<std::uint32_t>& table) {
+  std::uint64_t count = 0;
+  for (const std::uint32_t k : keys) {
+    count += std::binary_search(table.begin(), table.end(), k) ? 1 : 0;
+  }
+  return count;
+}
+
+std::uint64_t intersect_hash(const std::vector<std::uint32_t>& keys,
+                             const std::vector<std::uint32_t>& to_hash) {
+  // Chained hash with H-INDEX-style len/element rows.
+  const std::uint32_t buckets = 1024;
+  std::vector<std::vector<std::uint32_t>> table(buckets);
+  for (const std::uint32_t x : to_hash) table[x % buckets].push_back(x);
+  std::uint64_t count = 0;
+  for (const std::uint32_t k : keys) {
+    for (const std::uint32_t x : table[k % buckets]) count += x == k ? 1 : 0;
+  }
+  return count;
+}
+
+std::uint64_t intersect_bitmap(const std::vector<std::uint32_t>& keys,
+                               const std::vector<std::uint32_t>& to_mark,
+                               std::uint32_t universe) {
+  std::vector<std::uint32_t> bits((universe + 31) / 32, 0);
+  for (const std::uint32_t x : to_mark) bits[x >> 5] |= 1u << (x & 31);
+  std::uint64_t count = 0;
+  for (const std::uint32_t k : keys) {
+    count += (bits[k >> 5] >> (k & 31)) & 1u;
+  }
+  return count;
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (const int n : {64, 1024, 16384}) {
+    for (const int ratio : {1, 8}) b->Args({n, ratio});
+  }
+}
+
+void BM_Merge(benchmark::State& state) {
+  const auto [a, b] = make_lists(static_cast<std::uint32_t>(state.range(0)),
+                                 static_cast<std::uint32_t>(state.range(1)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(intersect_merge(a, b));
+}
+BENCHMARK(BM_Merge)->Apply(args);
+
+void BM_BinarySearch(benchmark::State& state) {
+  const auto [a, b] = make_lists(static_cast<std::uint32_t>(state.range(0)),
+                                 static_cast<std::uint32_t>(state.range(1)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(intersect_binsearch(a, b));
+}
+BENCHMARK(BM_BinarySearch)->Apply(args);
+
+void BM_Hash(benchmark::State& state) {
+  const auto [a, b] = make_lists(static_cast<std::uint32_t>(state.range(0)),
+                                 static_cast<std::uint32_t>(state.range(1)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(intersect_hash(b, a));
+}
+BENCHMARK(BM_Hash)->Apply(args);
+
+void BM_Bitmap(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto ratio = static_cast<std::uint32_t>(state.range(1));
+  const auto [a, b] = make_lists(n, ratio, 1);
+  const std::uint32_t universe = n * ratio * 8;
+  for (auto _ : state) benchmark::DoNotOptimize(intersect_bitmap(b, a, universe));
+}
+BENCHMARK(BM_Bitmap)->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

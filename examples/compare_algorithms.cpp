@@ -1,0 +1,55 @@
+// The unified testing framework in action: run all nine algorithms on one
+// of the paper's datasets and print a Figure-11-style comparison row with
+// the profiling metrics of Figures 12/13.
+//
+//   $ ./compare_algorithms                         # As-Skitter, capped
+//   $ ./compare_algorithms --datasets=Com-Dblp
+//   $ ./compare_algorithms --max-edges=500000 --gpu=rtx4090
+#include <iostream>
+
+#include "framework/options.hpp"
+#include "framework/registry.hpp"
+#include "framework/runner.hpp"
+#include "framework/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  const std::string dataset = opt.datasets.empty() ? "As-Skitter" : opt.datasets[0];
+
+  const auto& spec = gen::dataset_by_name(dataset);
+  const auto pg = framework::prepare_dataset(spec, opt.max_edges, opt.seed);
+  const auto gpu = framework::spec_for(opt.gpu);
+
+  std::cout << dataset << " (scaled): V=" << pg.stats.num_vertices
+            << " E=" << pg.stats.num_undirected_edges
+            << " avg_deg=" << pg.stats.avg_degree
+            << " triangles=" << pg.reference_triangles << "\n\n";
+
+  framework::ResultTable table({"algorithm", "time_ms", "valid", "gld_requests",
+                                "gld_tx_per_req", "warp_eff_pct"});
+  bool all_valid = true;
+  for (const auto& entry : framework::all_algorithms()) {
+    const auto algo = entry.make();
+    const auto out = framework::run_algorithm(*algo, pg, gpu);
+    all_valid &= out.valid;
+    const auto& m = out.result.total.metrics;
+    table.add_row({entry.name, framework::ResultTable::fmt(out.result.total.time_ms, 4),
+                   out.valid ? "yes" : "NO",
+                   std::to_string(m.global_load_requests),
+                   framework::ResultTable::fmt(m.gld_transactions_per_request(), 2),
+                   framework::ResultTable::fmt(m.warp_execution_efficiency() * 100, 1)});
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+  }
+  return all_valid ? 0 : 1;
+}

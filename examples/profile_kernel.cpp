@@ -1,0 +1,45 @@
+// nvprof-style per-kernel profile of one algorithm on one dataset — the
+// §IV "Metrics" workflow (the simulator's Profiler stands in for nvprof,
+// which the paper notes is unavailable on Ada cards anyway).
+//
+//   $ ./profile_kernel TRUST [--datasets=Wiki-Talk] [--max-edges=N]
+#include <iostream>
+
+#include "framework/options.hpp"
+#include "framework/registry.hpp"
+#include "framework/runner.hpp"
+#include "simt/profiler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  std::string algo_name = "TRUST";
+  // First positional argument (if any) is the algorithm name.
+  if (argc > 1 && argv[1][0] != '-') {
+    algo_name = argv[1];
+    --argc;
+    ++argv;
+  }
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  const std::string dataset = opt.datasets.empty() ? "Wiki-Talk" : opt.datasets[0];
+
+  const auto pg =
+      framework::prepare_dataset(gen::dataset_by_name(dataset), opt.max_edges, opt.seed);
+  const auto algo = framework::make_algorithm(algo_name);
+  const auto out = framework::run_algorithm(*algo, pg, framework::spec_for(opt.gpu));
+
+  std::cout << "==== profile: " << algo_name << " on " << dataset
+            << " (V=" << pg.stats.num_vertices
+            << ", E=" << pg.stats.num_undirected_edges << ") ====\n";
+  simt::Profiler prof;
+  for (const auto& [name, stats] : out.result.launches) prof.record(name, stats);
+  prof.report(std::cout);
+  std::cout << "triangles: " << out.result.triangles
+            << (out.valid ? " (validated)" : "  ** MISMATCH **") << '\n';
+  return out.valid ? 0 : 1;
+}

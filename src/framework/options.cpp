@@ -1,0 +1,71 @@
+#include "framework/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcgpu::framework {
+namespace {
+
+bool take_flag(const std::string& arg, const std::string& name, std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value for --" + flag + ": " + s);
+  }
+}
+
+}  // namespace
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions opt;
+  if (const char* cap = std::getenv("TCGPU_EDGE_CAP")) {
+    opt.max_edges = parse_u64(cap, "TCGPU_EDGE_CAP");
+  }
+  if (const char* seed = std::getenv("TCGPU_SEED")) {
+    opt.seed = parse_u64(seed, "TCGPU_SEED");
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--full") {
+      opt.max_edges = 0;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (take_flag(arg, "max-edges", &value)) {
+      opt.max_edges = parse_u64(value, "max-edges");
+    } else if (take_flag(arg, "seed", &value)) {
+      opt.seed = parse_u64(value, "seed");
+    } else if (take_flag(arg, "gpu", &value)) {
+      if (value != "v100" && value != "rtx4090") {
+        throw std::invalid_argument("unknown --gpu (use v100 or rtx4090)");
+      }
+      opt.gpu = value;
+    } else if (take_flag(arg, "datasets", &value)) {
+      std::stringstream ss(value);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) opt.datasets.push_back(item);
+      }
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      // google-benchmark flags pass through untouched
+    } else {
+      throw std::invalid_argument("unknown flag: " + arg);
+    }
+  }
+  return opt;
+}
+
+}  // namespace tcgpu::framework

@@ -1,0 +1,28 @@
+// Command-line / environment options shared by every benchmark harness.
+//
+// The paper's largest datasets (Twitter: 1.2 B edges) cannot be simulated
+// on this host at full size, so all harnesses apply a per-dataset edge cap
+// (DESIGN.md "Substitutions"). Raise it with --max-edges=N / TCGPU_EDGE_CAP
+// or disable capping with --full.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcgpu::framework {
+
+struct BenchOptions {
+  std::uint64_t max_edges = 100'000;  ///< per-dataset edge cap (0 = no cap)
+  std::uint64_t seed = 42;
+  bool csv = false;                  ///< machine-readable output
+  std::string gpu = "v100";          ///< "v100" | "rtx4090"
+  std::vector<std::string> datasets; ///< empty = all 19
+
+  /// Parses argv (flags: --max-edges=N --seed=N --full --csv --gpu=NAME
+  /// --datasets=a,b,c) with TCGPU_EDGE_CAP / TCGPU_SEED as fallbacks.
+  /// Throws std::invalid_argument on unknown flags (so typos fail loudly).
+  static BenchOptions parse(int argc, char** argv);
+};
+
+}  // namespace tcgpu::framework

@@ -1,0 +1,36 @@
+// Algorithm registry — the unified framework's catalogue of the eight
+// published ITC implementations plus GroupTC (Table I + §V).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tc/common.hpp"
+
+namespace tcgpu::framework {
+
+using CounterFactory = std::function<std::unique_ptr<tc::TriangleCounter>()>;
+
+struct AlgorithmEntry {
+  std::string name;
+  CounterFactory make;
+};
+
+/// All algorithms in Table I order (publication year), GroupTC last.
+const std::vector<AlgorithmEntry>& all_algorithms();
+
+/// The three §V protagonists (Figure 15): Polak, TRUST, GroupTC.
+const std::vector<AlgorithmEntry>& headline_algorithms();
+
+/// Everything in all_algorithms() plus this repo's extensions beyond the
+/// paper (currently GroupTC-H, the hash-probe variant the paper's §VI
+/// names as future work). The figure benches stick to the paper's set;
+/// tests and the extension bench cover these too.
+const std::vector<AlgorithmEntry>& extended_algorithms();
+
+/// Factory by name; throws std::out_of_range on unknown names.
+std::unique_ptr<tc::TriangleCounter> make_algorithm(const std::string& name);
+
+}  // namespace tcgpu::framework

@@ -1,0 +1,52 @@
+#include <stdexcept>
+#include "framework/runner.hpp"
+
+#include <chrono>
+
+#include "graph/builder.hpp"
+
+namespace tcgpu::framework {
+
+PreparedGraph prepare_graph(std::string name, const graph::Coo& raw,
+                            graph::OrientationPolicy policy) {
+  PreparedGraph pg;
+  pg.name = std::move(name);
+  const graph::Coo clean = graph::clean_edges(raw);
+  const graph::Csr undirected = graph::build_undirected_csr(clean);
+  pg.stats = graph::compute_stats(undirected);
+  auto oriented = graph::orient(undirected, policy);
+  pg.dag = std::move(oriented.dag);
+  pg.reference_triangles = graph::count_triangles_forward(pg.dag);
+  return pg;
+}
+
+PreparedGraph prepare_dataset(const gen::DatasetSpec& spec, std::uint64_t max_edges,
+                              std::uint64_t seed, graph::OrientationPolicy policy) {
+  const graph::Coo raw = gen::generate_dataset(spec, max_edges, seed);
+  return prepare_graph(spec.name, raw, policy);
+}
+
+simt::GpuSpec spec_for(const std::string& gpu_name) {
+  if (gpu_name == "v100") return simt::GpuSpec::v100();
+  if (gpu_name == "rtx4090") return simt::GpuSpec::rtx4090();
+  throw std::invalid_argument("unknown GPU preset: " + gpu_name);
+}
+
+RunOutcome run_algorithm(const tc::TriangleCounter& algo, const PreparedGraph& pg,
+                         const simt::GpuSpec& spec) {
+  RunOutcome out;
+  out.algorithm = algo.name();
+  out.dataset = pg.name;
+
+  simt::Device dev;
+  const tc::DeviceGraph dg = tc::DeviceGraph::upload(dev, pg.dag);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  out.result = algo.count(dev, spec, dg);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.valid = out.result.triangles == pg.reference_triangles;
+  return out;
+}
+
+}  // namespace tcgpu::framework

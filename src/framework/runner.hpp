@@ -1,0 +1,50 @@
+// Dataset preparation and validated algorithm execution — the spine of the
+// unified testing framework (§IV): generate/load → clean → orient → upload
+// → run → check the count against the CPU reference → collect metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gen/paper_datasets.hpp"
+#include "graph/cpu_reference.hpp"
+#include "graph/orientation.hpp"
+#include "graph/stats.hpp"
+#include "tc/common.hpp"
+
+namespace tcgpu::framework {
+
+struct PreparedGraph {
+  std::string name;
+  graph::GraphStats stats;             ///< of the cleaned undirected graph
+  graph::Csr dag;                      ///< oriented, relabeled (u < v)
+  std::uint64_t reference_triangles = 0;  ///< CPU forward-algorithm count
+};
+
+/// Generates (with the edge cap applied), cleans, orients and reference-counts
+/// one of the paper's datasets.
+PreparedGraph prepare_dataset(
+    const gen::DatasetSpec& spec, std::uint64_t max_edges, std::uint64_t seed,
+    graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree);
+
+/// Same pipeline for an arbitrary raw edge list (loader output, tests).
+PreparedGraph prepare_graph(
+    std::string name, const graph::Coo& raw,
+    graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree);
+
+struct RunOutcome {
+  std::string algorithm;
+  std::string dataset;
+  tc::AlgoResult result;
+  bool valid = false;      ///< triangles == reference
+  double host_seconds = 0; ///< simulator wall time (diagnostic only)
+};
+
+/// Uploads the DAG to a fresh device, runs the counter, validates the count.
+RunOutcome run_algorithm(const tc::TriangleCounter& algo, const PreparedGraph& pg,
+                         const simt::GpuSpec& spec);
+
+/// GpuSpec preset by name ("v100" or "rtx4090"); throws on anything else.
+simt::GpuSpec spec_for(const std::string& gpu_name);
+
+}  // namespace tcgpu::framework

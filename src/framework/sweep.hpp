@@ -1,0 +1,27 @@
+// Shared dataset x algorithm sweep used by the figure-regeneration benches
+// (Figures 11, 12, 13 and 15 all plot series over the same 19-dataset
+// x-axis).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "framework/options.hpp"
+#include "framework/registry.hpp"
+#include "framework/runner.hpp"
+
+namespace tcgpu::framework {
+
+struct SweepRow {
+  PreparedGraph graph;                ///< prepared dataset (stats + reference)
+  std::vector<RunOutcome> outcomes;   ///< one per algorithm, registry order
+};
+
+/// Prepares every selected dataset (subject to the edge cap) and runs every
+/// given algorithm on it, validating each count. Progress lines go to
+/// `progress` (pass std::cerr; figures print their tables to stdout).
+std::vector<SweepRow> run_sweep(const BenchOptions& opt,
+                                const std::vector<AlgorithmEntry>& algorithms,
+                                std::ostream& progress);
+
+}  // namespace tcgpu::framework

@@ -1,0 +1,58 @@
+#include "framework/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcgpu::framework {
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("ResultTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::print_aligned(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  line(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void ResultTable::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  line(columns_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string ResultTable::fmt(double v, int prec) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << v;
+  return ss.str();
+}
+
+}  // namespace tcgpu::framework

@@ -1,0 +1,33 @@
+// Result tables for the benchmark harnesses: fixed columns, printed as
+// aligned text or CSV — the rows/series the paper's figures plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tcgpu::framework {
+
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Appends a row; must have exactly one cell per column.
+  void add_row(std::vector<std::string> cells);
+
+  void print_aligned(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string fmt(double v, int prec = 3);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcgpu::framework

@@ -1,0 +1,41 @@
+#include "gen/chung_lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/common.hpp"
+
+namespace tcgpu::gen {
+
+graph::Coo generate_chung_lu(const ChungLuParams& p, std::uint64_t seed) {
+  if (p.vertices < 2) throw std::invalid_argument("chung_lu: need >= 2 vertices");
+  if (p.exponent <= 1.0) throw std::invalid_argument("chung_lu: exponent must be > 1");
+
+  SplitMix64 rng(seed);
+
+  // Draw power-law weights w ~ x^(-exponent), truncated at sqrt-ish cap so
+  // expected multi-edge rates stay manageable, then build a sampling pool
+  // where vertex i appears round(w_i) times.
+  const double alpha = 1.0 / (p.exponent - 1.0);
+  const double cap = std::max(4.0, std::sqrt(static_cast<double>(p.vertices)) * 4.0);
+  std::vector<std::uint32_t> pool;
+  pool.reserve(p.vertices * 2);
+  for (graph::VertexId v = 0; v < p.vertices; ++v) {
+    const double u01 = rng.uniform_real();
+    double w = p.min_weight * std::pow(1.0 - u01, -alpha);
+    w = std::min(w, cap);
+    const auto copies = static_cast<std::uint32_t>(w + 0.5);
+    for (std::uint32_t c = 0; c < copies; ++c) pool.push_back(v);
+  }
+  if (pool.size() < 2) throw std::invalid_argument("chung_lu: degenerate weights");
+
+  auto sample = [&pool](SplitMix64& r) -> graph::Edge {
+    const auto i = static_cast<graph::VertexId>(pool[r.uniform(pool.size())]);
+    const auto j = static_cast<graph::VertexId>(pool[r.uniform(pool.size())]);
+    return {i, j};
+  };
+  return sample_distinct_edges(p.vertices, p.edges, p.edges * 64 + 1024, sample, rng);
+}
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,23 @@
+// Chung-Lu style power-law generator: vertices receive expected degrees
+// drawn from a truncated power law, and edges are sampled proportional to
+// the product of endpoint weights (via a configuration-model pool). Used
+// for the citation / collaboration / p2p families, whose degree tails are
+// milder than the RMAT social graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace tcgpu::gen {
+
+struct ChungLuParams {
+  graph::VertexId vertices = 1 << 16;
+  std::uint64_t edges = 1 << 18;
+  double exponent = 2.5;   ///< power-law exponent of the weight distribution
+  std::uint32_t min_weight = 1;
+};
+
+graph::Coo generate_chung_lu(const ChungLuParams& p, std::uint64_t seed);
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,28 @@
+#include "gen/common.hpp"
+
+#include <algorithm>
+
+namespace tcgpu::gen {
+
+graph::Coo sample_distinct_edges(
+    graph::VertexId num_vertices, std::uint64_t target_edges,
+    std::uint64_t max_attempts,
+    const std::function<graph::Edge(SplitMix64&)>& sample, SplitMix64& rng) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  graph::Coo g;
+  g.num_vertices = num_vertices;
+  g.edges.reserve(target_edges);
+  std::uint64_t attempts = 0;
+  while (g.edges.size() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    auto [u, v] = sample(rng);
+    if (u == v || u >= num_vertices || v >= num_vertices) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) g.edges.emplace_back(u, v);
+  }
+  return g;
+}
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,24 @@
+// Shared helpers for the generators: exact-edge-count sampling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "gen/rng.hpp"
+#include "graph/coo.hpp"
+
+namespace tcgpu::gen {
+
+/// Draws candidate edges from `sample` until `target_edges` *distinct,
+/// non-loop, undirected* edges have been collected (canonicalized u<v), or
+/// `max_attempts` draws have been made (guards against generators whose
+/// support is smaller than the target). Returns a raw Coo ready for
+/// graph::clean_edges (which will find nothing left to remove but also
+/// compacts isolated vertices).
+graph::Coo sample_distinct_edges(
+    graph::VertexId num_vertices, std::uint64_t target_edges,
+    std::uint64_t max_attempts,
+    const std::function<graph::Edge(SplitMix64&)>& sample, SplitMix64& rng);
+
+}  // namespace tcgpu::gen

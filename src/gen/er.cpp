@@ -1,0 +1,23 @@
+#include "gen/er.hpp"
+
+#include <stdexcept>
+
+#include "gen/common.hpp"
+
+namespace tcgpu::gen {
+
+graph::Coo generate_er(graph::VertexId vertices, std::uint64_t edges,
+                       std::uint64_t seed) {
+  if (vertices < 2) throw std::invalid_argument("er: need >= 2 vertices");
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(vertices) * (vertices - 1) / 2;
+  if (edges > max_edges) throw std::invalid_argument("er: too many edges requested");
+  SplitMix64 rng(seed);
+  auto sample = [vertices](SplitMix64& r) -> graph::Edge {
+    return {static_cast<graph::VertexId>(r.uniform(vertices)),
+            static_cast<graph::VertexId>(r.uniform(vertices))};
+  };
+  return sample_distinct_edges(vertices, edges, edges * 256 + 4096, sample, rng);
+}
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,15 @@
+// Erdős–Rényi G(n, M): M distinct uniform edges. The no-structure baseline
+// used by tests (its expected triangle count is analytic) and by the
+// intersection micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace tcgpu::gen {
+
+graph::Coo generate_er(graph::VertexId vertices, std::uint64_t edges,
+                       std::uint64_t seed);
+
+}  // namespace tcgpu::gen

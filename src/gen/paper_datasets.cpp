@@ -1,0 +1,147 @@
+#include "gen/paper_datasets.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/chung_lu.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/star_burst.hpp"
+
+namespace tcgpu::gen {
+
+const char* to_string(Family f) {
+  switch (f) {
+    case Family::kSocial: return "social";
+    case Family::kWeb: return "web";
+    case Family::kCitation: return "citation";
+    case Family::kCollaboration: return "collaboration";
+    case Family::kRoad: return "road";
+    case Family::kCommunication: return "communication";
+    case Family::kP2p: return "p2p";
+  }
+  return "?";
+}
+
+namespace {
+
+// Table II, in the paper's order of increasing edge count.
+const std::array<DatasetSpec, 19> kDatasets = {{
+    {"As-Caida", Family::kCommunication, 16'000, 43'000, 5.2},
+    {"P2p-Gnutella31", Family::kP2p, 33'000, 119'000, 7.0},
+    {"Email-EuAll", Family::kCommunication, 39'000, 151'000, 7.7},
+    {"Soc-Slashdot0922", Family::kSocial, 53'000, 475'000, 17.7},
+    {"Web-NotreDame", Family::kWeb, 163'000, 928'000, 11.3},
+    {"Com-Dblp", Family::kCollaboration, 273'000, 1'000'000, 7.3},
+    {"Amazon0601", Family::kCollaboration, 391'000, 2'400'000, 12.4},
+    {"RoadNet-CA", Family::kRoad, 1'600'000, 2'400'000, 2.9},
+    {"Wiki-Talk", Family::kCommunication, 626'000, 2'800'000, 9.2},
+    {"Web-BerkStan", Family::kWeb, 645'000, 6'600'000, 20.4},
+    {"As-Skitter", Family::kSocial, 1'400'000, 10'800'000, 14.7},
+    {"Cit-Patents", Family::kCitation, 3'100'000, 15'800'000, 10.2},
+    {"Soc-Pokec", Family::kSocial, 1'400'000, 22'100'000, 30.1},
+    {"Sx-Stackoverflow", Family::kCommunication, 1'900'000, 27'500'000, 28.0},
+    {"Com-Lj", Family::kSocial, 3'200'000, 33'800'000, 21.1},
+    {"Soc-LiveJ", Family::kSocial, 3'700'000, 41'700'000, 22.0},
+    {"Com-Orkut", Family::kSocial, 3'000'000, 117'000'000, 77.9},
+    {"Twitter", Family::kSocial, 39'000'000, 1'200'000'000, 60.4},
+    {"Com-Friendster", Family::kSocial, 51'000'000, 1'800'000'000, 69.0},
+}};
+
+std::uint32_t bits_for(std::uint64_t v) {
+  std::uint32_t b = 1;
+  while ((1ull << b) < v) ++b;
+  return b;
+}
+
+/// Mixes the dataset name into the seed so two datasets that downscale to
+/// identical generator parameters still produce distinct graphs.
+std::uint64_t mix_seed(std::uint64_t seed, const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return seed ^ h;
+}
+
+}  // namespace
+
+std::span<const DatasetSpec> paper_datasets() { return kDatasets; }
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const auto& d : kDatasets) {
+    if (d.name == name) return d;
+  }
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+double dataset_scale(const DatasetSpec& spec, std::uint64_t max_edges) {
+  if (max_edges == 0 || spec.paper_edges <= max_edges) return 1.0;
+  return static_cast<double>(max_edges) / static_cast<double>(spec.paper_edges);
+}
+
+graph::Coo generate_dataset(const DatasetSpec& spec, std::uint64_t max_edges,
+                            std::uint64_t seed) {
+  const double scale = dataset_scale(spec, max_edges);
+  const auto target_e = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(static_cast<double>(spec.paper_edges) * scale));
+  const auto target_v = std::max<std::uint64_t>(
+      64,
+      static_cast<std::uint64_t>(static_cast<double>(spec.paper_vertices) * scale));
+
+  const std::uint64_t ds_seed = mix_seed(seed, spec.name);
+  switch (spec.family) {
+    case Family::kSocial:
+    case Family::kWeb: {
+      RmatParams p;
+      // Oversize the Kronecker id space, then fold onto the exact vertex
+      // target (RMAT would otherwise leave a skew-dependent share of ids
+      // isolated and miss the Table II vertex/degree point).
+      p.scale = std::min(31u, bits_for(target_v) + 1);
+      p.fold_to = static_cast<graph::VertexId>(target_v);
+      p.edges = target_e;
+      if (spec.family == Family::kWeb) {
+        p.a = 0.65;
+        p.b = 0.15;
+        p.c = 0.15;
+      }
+      if (spec.paper_avg_degree > 50.0) {  // Orkut/Twitter-grade skew
+        p.a = 0.62;
+        p.b = 0.17;
+        p.c = 0.17;
+      }
+      return generate_rmat(p, ds_seed);
+    }
+    case Family::kCitation:
+    case Family::kCollaboration:
+    case Family::kP2p: {
+      ChungLuParams p;
+      p.vertices = static_cast<graph::VertexId>(target_v);
+      p.edges = target_e;
+      p.exponent = spec.family == Family::kP2p ? 3.0 : 2.5;
+      return generate_chung_lu(p, ds_seed);
+    }
+    case Family::kRoad: {
+      RoadParams p;
+      p.vertices = static_cast<graph::VertexId>(target_v);
+      const double ratio =
+          static_cast<double>(target_e) / static_cast<double>(target_v);
+      p.diagonal_probability = 0.03;
+      p.keep_probability =
+          std::clamp((ratio - p.diagonal_probability) / 2.0, 0.3, 1.0);
+      return generate_road(p, ds_seed);
+    }
+    case Family::kCommunication: {
+      StarBurstParams p;
+      p.vertices = static_cast<graph::VertexId>(target_v);
+      p.edges = target_e;
+      return generate_star_burst(p, ds_seed);
+    }
+  }
+  throw std::logic_error("generate_dataset: unhandled family");
+}
+
+}  // namespace tcgpu::gen

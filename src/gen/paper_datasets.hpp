@@ -1,0 +1,54 @@
+// The 19-dataset registry mirroring Table II of the paper.
+//
+// SNAP downloads are unavailable offline, so each dataset is mapped to a
+// seeded synthetic generator matched on the axes the paper's analysis uses:
+// vertex count, edge count, average degree, and graph family (which fixes
+// the degree-distribution shape). generate_dataset() also supports uniform
+// downscaling via an edge cap, preserving the avg-degree ordering across
+// datasets — the x-axis of Figures 11-15 — so crossover positions survive
+// scaling. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/coo.hpp"
+
+namespace tcgpu::gen {
+
+enum class Family {
+  kSocial,         // RMAT, heavy power-law tail
+  kWeb,            // RMAT, stronger skew
+  kCitation,       // Chung-Lu, milder tail
+  kCollaboration,  // Chung-Lu
+  kRoad,           // jittered lattice
+  kCommunication,  // star-burst hubs
+  kP2p,            // Chung-Lu, steep exponent / low clustering
+};
+
+const char* to_string(Family f);
+
+struct DatasetSpec {
+  std::string name;
+  Family family;
+  std::uint64_t paper_vertices;  ///< Table II "vertices"
+  std::uint64_t paper_edges;     ///< Table II "edges"
+  double paper_avg_degree;       ///< Table II "avg degree"
+};
+
+/// The 19 datasets in the paper's order (increasing edge count).
+std::span<const DatasetSpec> paper_datasets();
+
+/// Lookup by (case-sensitive) name; throws std::out_of_range if unknown.
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// Downscale factor applied when the edge cap bites: min(1, cap/E_paper).
+double dataset_scale(const DatasetSpec& spec, std::uint64_t max_edges);
+
+/// Generates the (possibly downscaled) synthetic stand-in. The result is a
+/// raw edge list; run it through graph::clean_edges + build_undirected_csr.
+graph::Coo generate_dataset(const DatasetSpec& spec, std::uint64_t max_edges,
+                            std::uint64_t seed);
+
+}  // namespace tcgpu::gen

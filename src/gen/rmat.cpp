@@ -1,0 +1,54 @@
+#include "gen/rmat.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/common.hpp"
+
+namespace tcgpu::gen {
+
+graph::Coo generate_rmat(const RmatParams& p, std::uint64_t seed) {
+  if (p.a + p.b + p.c >= 1.0) {
+    throw std::invalid_argument("rmat: a+b+c must be < 1");
+  }
+  if (p.scale == 0 || p.scale > 31) {
+    throw std::invalid_argument("rmat: scale must be in [1, 31]");
+  }
+  const auto space = static_cast<graph::VertexId>(1u << p.scale);
+  const graph::VertexId n = p.fold_to == 0 ? space : std::min(space, p.fold_to);
+
+  auto sample = [&p](SplitMix64& rng) -> graph::Edge {
+    std::uint32_t u = 0, v = 0;
+    for (std::uint32_t level = 0; level < p.scale; ++level) {
+      // Jitter the quadrant probabilities per level, seeded by the draw
+      // stream itself (stays deterministic).
+      const double ja = p.a * (1.0 + p.noise * (rng.uniform_real() - 0.5));
+      const double jb = p.b * (1.0 + p.noise * (rng.uniform_real() - 0.5));
+      const double jc = p.c * (1.0 + p.noise * (rng.uniform_real() - 0.5));
+      const double sum = ja + jb + jc + (1.0 - p.a - p.b - p.c);
+      const double r = rng.uniform_real() * sum;
+      u <<= 1;
+      v <<= 1;
+      if (r < ja) {
+        // top-left
+      } else if (r < ja + jb) {
+        v |= 1;
+      } else if (r < ja + jb + jc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (p.fold_to != 0) {
+      u %= p.fold_to;
+      v %= p.fold_to;
+    }
+    return {u, v};
+  };
+
+  SplitMix64 rng(seed);
+  return sample_distinct_edges(n, p.edges, p.edges * 64 + 1024, sample, rng);
+}
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,27 @@
+// R-MAT / Kronecker generator — the standard synthetic model for power-law
+// social and web graphs. Produces exactly `edges` distinct undirected edges
+// over 2^scale vertices (isolated vertices are compacted away later by
+// graph::clean_edges, which is why the achieved vertex count lands below
+// 2^scale, like real crawls).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace tcgpu::gen {
+
+struct RmatParams {
+  std::uint32_t scale = 16;  ///< id space = 2^scale
+  std::uint64_t edges = 1 << 18;
+  double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c
+  double noise = 0.1;  ///< per-level parameter jitter (avoids grid artifacts)
+  /// When nonzero, sampled ids are folded modulo this value, pinning the
+  /// vertex-count target precisely even though the Kronecker id space is a
+  /// power of two (used by the Table II registry to hit V while E is capped).
+  std::uint32_t fold_to = 0;
+};
+
+graph::Coo generate_rmat(const RmatParams& p, std::uint64_t seed);
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,3 @@
+#include "gen/rng.hpp"
+
+namespace tcgpu::gen {}

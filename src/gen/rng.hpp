@@ -1,0 +1,38 @@
+// Deterministic, seed-stable RNG for dataset synthesis.
+//
+// All generators route randomness through SplitMix64 so a (generator, seed,
+// scale) triple reproduces the identical graph on any platform — the
+// property every test and benchmark in this repo depends on.
+#pragma once
+
+#include <cstdint>
+
+namespace tcgpu::gen {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform(std::uint64_t n) { return next() % n; }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform_real() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tcgpu::gen

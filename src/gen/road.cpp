@@ -1,0 +1,36 @@
+#include "gen/road.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/rng.hpp"
+
+namespace tcgpu::gen {
+
+graph::Coo generate_road(const RoadParams& p, std::uint64_t seed) {
+  if (p.vertices < 4) throw std::invalid_argument("road: need >= 4 vertices");
+  const auto side = static_cast<graph::VertexId>(
+      std::sqrt(static_cast<double>(p.vertices)));
+  const graph::VertexId w = side, h = (p.vertices + side - 1) / side;
+
+  SplitMix64 rng(seed);
+  graph::Coo g;
+  g.num_vertices = w * h;
+  auto at = [w](graph::VertexId x, graph::VertexId y) { return y * w + x; };
+  for (graph::VertexId y = 0; y < h; ++y) {
+    for (graph::VertexId x = 0; x < w; ++x) {
+      if (x + 1 < w && rng.chance(p.keep_probability)) {
+        g.edges.emplace_back(at(x, y), at(x + 1, y));
+      }
+      if (y + 1 < h && rng.chance(p.keep_probability)) {
+        g.edges.emplace_back(at(x, y), at(x, y + 1));
+      }
+      if (x + 1 < w && y + 1 < h && rng.chance(p.diagonal_probability)) {
+        g.edges.emplace_back(at(x, y), at(x + 1, y + 1));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace tcgpu::gen

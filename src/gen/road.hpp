@@ -1,0 +1,21 @@
+// Road-network generator: a jittered 2-D lattice (avg degree ~3, huge
+// diameter, almost no triangles — the RoadNet-CA shape that makes
+// low-degree behaviour visible in the study). A small diagonal probability
+// injects the few triangles real road networks have.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace tcgpu::gen {
+
+struct RoadParams {
+  graph::VertexId vertices = 1 << 16;  ///< rounded to a W x H grid
+  double keep_probability = 0.92;      ///< fraction of lattice edges kept
+  double diagonal_probability = 0.03;  ///< chance of a triangle-forming chord
+};
+
+graph::Coo generate_road(const RoadParams& p, std::uint64_t seed);
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,36 @@
+#include "gen/star_burst.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/common.hpp"
+
+namespace tcgpu::gen {
+
+graph::Coo generate_star_burst(const StarBurstParams& p, std::uint64_t seed) {
+  if (p.vertices < 8) throw std::invalid_argument("star_burst: need >= 8 vertices");
+  const auto hubs = std::max<graph::VertexId>(
+      2, static_cast<graph::VertexId>(p.vertices * p.hub_fraction));
+
+  SplitMix64 rng(seed);
+  auto sample = [&p, hubs](SplitMix64& r) -> graph::Edge {
+    if (r.chance(p.hub_edge_share)) {
+      // hub <-> anyone (hubs are ids [0, hubs); skew inside hubs too)
+      const auto h = static_cast<graph::VertexId>(
+          r.uniform(hubs) * r.uniform(hubs) / std::max<std::uint64_t>(1, hubs));
+      const auto other = static_cast<graph::VertexId>(r.uniform(p.vertices));
+      return {h, other};
+    }
+    // peripheral mesh among leaves, biased to nearby ids (weak locality)
+    const auto a = static_cast<graph::VertexId>(hubs + r.uniform(p.vertices - hubs));
+    const std::uint64_t radius = std::max<std::uint64_t>(64, p.vertices / 64);
+    const auto delta = static_cast<std::int64_t>(r.uniform(2 * radius)) -
+                       static_cast<std::int64_t>(radius);
+    auto b = static_cast<std::int64_t>(a) + delta;
+    b = std::clamp<std::int64_t>(b, hubs, static_cast<std::int64_t>(p.vertices) - 1);
+    return {a, static_cast<graph::VertexId>(b)};
+  };
+  return sample_distinct_edges(p.vertices, p.edges, p.edges * 64 + 1024, sample, rng);
+}
+
+}  // namespace tcgpu::gen

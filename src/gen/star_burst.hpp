@@ -1,0 +1,23 @@
+// Communication-network generator (Email-EuAll / Wiki-Talk / As-Caida
+// shape): a small set of hubs attracts most edges, leaves attach to few
+// hubs, and a sparse peripheral mesh exists among leaves. Produces the
+// extreme degree skew with modest triangle density that stresses the
+// workload-imbalance behaviour the paper analyzes.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace tcgpu::gen {
+
+struct StarBurstParams {
+  graph::VertexId vertices = 1 << 16;
+  std::uint64_t edges = 1 << 18;
+  double hub_fraction = 0.004;  ///< fraction of vertices that are hubs
+  double hub_edge_share = 0.7;  ///< fraction of edges incident to a hub
+};
+
+graph::Coo generate_star_burst(const StarBurstParams& p, std::uint64_t seed);
+
+}  // namespace tcgpu::gen

@@ -1,0 +1,26 @@
+// Graph cleaning and CSR assembly — the paper's §IV preparation pipeline:
+// "removing vertices that are not connected to any edges, eliminating
+// self-loop edges, and resolving duplicate edges within the graph. These
+// transformations do not alter the number of triangles."
+#pragma once
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace tcgpu::graph {
+
+/// Canonicalizes a raw edge list into a simple undirected graph:
+/// drops self-loops, merges duplicate/reverse-duplicate edges, removes
+/// isolated vertices and compacts vertex ids. Each surviving undirected
+/// edge appears exactly once, as (min(u,v), max(u,v)).
+Coo clean_edges(const Coo& raw);
+
+/// Builds the symmetric (both-direction) CSR of a cleaned edge list.
+/// Neighbor lists come out sorted ascending and duplicate-free.
+Csr build_undirected_csr(const Coo& clean);
+
+/// Builds a directed CSR containing exactly the edges given (u -> v),
+/// neighbor lists sorted ascending. Used for oriented DAGs.
+Csr build_directed_csr(VertexId num_vertices, const std::vector<Edge>& edges);
+
+}  // namespace tcgpu::graph

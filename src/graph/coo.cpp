@@ -1,0 +1,3 @@
+#include "graph/coo.hpp"
+
+namespace tcgpu::graph {}

@@ -1,0 +1,18 @@
+// Edge-list (COO) graph container — the interchange format every loader and
+// generator produces and the builder consumes.
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace tcgpu::graph {
+
+/// An edge list over vertices [0, num_vertices). May contain self-loops,
+/// duplicates and isolated vertices until cleaned by the builder.
+struct Coo {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+
+  std::size_t num_edges() const { return edges.size(); }
+};
+
+}  // namespace tcgpu::graph

@@ -1,0 +1,66 @@
+#include "graph/cpu_reference.hpp"
+
+#include <vector>
+
+namespace tcgpu::graph {
+
+std::uint64_t sorted_intersection_size(std::span<const VertexId> a,
+                                       std::span<const VertexId> b) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::uint64_t count_triangles_forward(const Csr& dag) {
+  std::uint64_t total = 0;
+  for (VertexId u = 0; u < dag.num_vertices(); ++u) {
+    const auto nu = dag.neighbors(u);
+    for (VertexId v : nu) {
+      total += sorted_intersection_size(nu, dag.neighbors(v));
+    }
+  }
+  return total;
+}
+
+std::uint64_t count_triangles_forward_parallel(const Csr& dag) {
+  const auto n = static_cast<std::int64_t>(dag.num_vertices());
+  std::uint64_t total = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 256) reduction(+ : total)
+#endif
+  for (std::int64_t u = 0; u < n; ++u) {
+    const auto nu = dag.neighbors(static_cast<VertexId>(u));
+    for (const VertexId v : nu) {
+      total += sorted_intersection_size(nu, dag.neighbors(v));
+    }
+  }
+  return total;
+}
+
+std::uint64_t count_triangles_stamped(const Csr& dag) {
+  const VertexId n = dag.num_vertices();
+  std::vector<VertexId> stamp(n, kInvalidVertex);
+  std::uint64_t total = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : dag.neighbors(u)) stamp[v] = u;
+    for (VertexId v : dag.neighbors(u)) {
+      for (VertexId w : dag.neighbors(v)) {
+        if (stamp[w] == u) ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace tcgpu::graph

@@ -1,0 +1,34 @@
+// Exact CPU triangle counters — the ground truth every simulated GPU kernel
+// is validated against.
+//
+// Two independent implementations are provided so the reference itself can
+// be cross-checked: the merge-based Forward algorithm (Schank & Wagner; the
+// CPU ancestor of Polak) and a hash-probe counter with a different access
+// pattern. Both take the oriented DAG and count each triangle exactly once.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace tcgpu::graph {
+
+/// Forward algorithm: for every DAG edge (u,v), |N+(u) ∩ N+(v)| by sorted
+/// merge. O(sum over edges of d+(u)+d+(v)).
+std::uint64_t count_triangles_forward(const Csr& oriented_dag);
+
+/// Independent cross-check: per vertex u, mark N+(u) in a stamp array, then
+/// probe every 2-hop neighbor. O(sum over edges of d+(v)) probes.
+std::uint64_t count_triangles_stamped(const Csr& oriented_dag);
+
+/// OpenMP-parallel forward algorithm (dynamic scheduling over source
+/// vertices) — the multicore CPU baseline the GPU codes are measured
+/// against in practice. Falls back to the serial path without OpenMP.
+std::uint64_t count_triangles_forward_parallel(const Csr& oriented_dag);
+
+/// Intersection size of two sorted ranges (exposed for tests and the
+/// incremental-edge property test).
+std::uint64_t sorted_intersection_size(std::span<const VertexId> a,
+                                       std::span<const VertexId> b);
+
+}  // namespace tcgpu::graph

@@ -1,0 +1,25 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcgpu::graph {
+
+Csr::Csr(std::vector<EdgeIndex> row_ptr, std::vector<VertexId> col)
+    : row_ptr_(std::move(row_ptr)), col_(std::move(col)) {
+  if (row_ptr_.empty()) throw std::invalid_argument("Csr: row_ptr must be non-empty");
+  if (row_ptr_.front() != 0) throw std::invalid_argument("Csr: row_ptr[0] must be 0");
+  if (!std::is_sorted(row_ptr_.begin(), row_ptr_.end())) {
+    throw std::invalid_argument("Csr: row_ptr must be non-decreasing");
+  }
+  if (row_ptr_.back() != col_.size()) {
+    throw std::invalid_argument("Csr: row_ptr end does not match col size");
+  }
+}
+
+bool Csr::has_edge(VertexId v, VertexId w) const {
+  const auto n = neighbors(v);
+  return std::binary_search(n.begin(), n.end(), w);
+}
+
+}  // namespace tcgpu::graph

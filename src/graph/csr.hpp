@@ -1,0 +1,41 @@
+// Compressed sparse row adjacency — the format all triangle-counting
+// kernels consume. Neighbor lists are sorted ascending (the merge/binary
+// search intersection methods require it; the builder guarantees it).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace tcgpu::graph {
+
+class Csr {
+ public:
+  Csr() : row_ptr_(1, 0) {}
+  Csr(std::vector<EdgeIndex> row_ptr, std::vector<VertexId> col);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(row_ptr_.size() - 1);
+  }
+  EdgeIndex num_edges() const { return row_ptr_.back(); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {col_.data() + row_ptr_[v], col_.data() + row_ptr_[v + 1]};
+  }
+  EdgeIndex degree(VertexId v) const { return row_ptr_[v + 1] - row_ptr_[v]; }
+
+  /// Binary search in v's sorted neighbor list.
+  bool has_edge(VertexId v, VertexId w) const;
+
+  const std::vector<EdgeIndex>& row_ptr() const { return row_ptr_; }
+  const std::vector<VertexId>& col() const { return col_; }
+
+  bool operator==(const Csr&) const = default;
+
+ private:
+  std::vector<EdgeIndex> row_ptr_;  // size V+1
+  std::vector<VertexId> col_;       // size E
+};
+
+}  // namespace tcgpu::graph

@@ -1,0 +1,176 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcgpu::graph {
+namespace {
+
+[[noreturn]] void io_fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error(path + ": " + what);
+}
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  if (!in) io_fail(path, "cannot open for reading");
+  return in;
+}
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  if (!out) io_fail(path, "cannot open for writing");
+  return out;
+}
+
+template <class T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::ifstream& in, const std::string& path) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) io_fail(path, "truncated file");
+  return v;
+}
+
+constexpr std::uint32_t kEdgeListMagic = 0x42474354;  // "TCGB"
+constexpr std::uint32_t kCsrMagic = 0x52534354;       // "TCSR"
+
+}  // namespace
+
+Coo read_text_edge_list(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  Coo g;
+  VertexId max_id = 0;
+  bool any = false;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      io_fail(path, "malformed edge at line " + std::to_string(lineno));
+    }
+    if (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull) {
+      io_fail(path, "vertex id exceeds 32 bits at line " + std::to_string(lineno));
+    }
+    g.edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    max_id = std::max({max_id, static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    any = true;
+  }
+  g.num_vertices = any ? max_id + 1 : 0;
+  return g;
+}
+
+void write_text_edge_list(const std::string& path, const Coo& g) {
+  auto out = open_out(path, std::ios::out);
+  out << "# tcgpu edge list: " << g.num_vertices << " vertices, "
+      << g.edges.size() << " edges\n";
+  for (const auto& [u, v] : g.edges) out << u << ' ' << v << '\n';
+  if (!out) io_fail(path, "write failed");
+}
+
+Coo read_binary_edge_list(const std::string& path) {
+  auto in = open_in(path, std::ios::binary);
+  if (read_pod<std::uint32_t>(in, path) != kEdgeListMagic) {
+    io_fail(path, "not a TCGB binary edge list");
+  }
+  const auto version = read_pod<std::uint32_t>(in, path);
+  if (version != 1) io_fail(path, "unsupported TCGB version");
+  Coo g;
+  g.num_vertices = read_pod<std::uint32_t>(in, path);
+  const auto count = read_pod<std::uint64_t>(in, path);
+  g.edges.resize(count);
+  in.read(reinterpret_cast<char*>(g.edges.data()),
+          static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!in) io_fail(path, "truncated edge data");
+  return g;
+}
+
+void write_binary_edge_list(const std::string& path, const Coo& g) {
+  static_assert(sizeof(Edge) == 8, "Edge must pack to two u32");
+  auto out = open_out(path, std::ios::binary);
+  write_pod(out, kEdgeListMagic);
+  write_pod(out, std::uint32_t{1});
+  write_pod(out, g.num_vertices);
+  write_pod(out, static_cast<std::uint64_t>(g.edges.size()));
+  out.write(reinterpret_cast<const char*>(g.edges.data()),
+            static_cast<std::streamsize>(g.edges.size() * sizeof(Edge)));
+  if (!out) io_fail(path, "write failed");
+}
+
+Csr read_binary_csr(const std::string& path) {
+  auto in = open_in(path, std::ios::binary);
+  if (read_pod<std::uint32_t>(in, path) != kCsrMagic) {
+    io_fail(path, "not a TCSR binary image");
+  }
+  const auto num_vertices = read_pod<std::uint32_t>(in, path);
+  const auto num_edges = read_pod<std::uint64_t>(in, path);
+  std::vector<EdgeIndex> row_ptr(static_cast<std::size_t>(num_vertices) + 1);
+  std::vector<VertexId> col(num_edges);
+  in.read(reinterpret_cast<char*>(row_ptr.data()),
+          static_cast<std::streamsize>(row_ptr.size() * sizeof(EdgeIndex)));
+  in.read(reinterpret_cast<char*>(col.data()),
+          static_cast<std::streamsize>(col.size() * sizeof(VertexId)));
+  if (!in) io_fail(path, "truncated CSR data");
+  return Csr(std::move(row_ptr), std::move(col));
+}
+
+void write_binary_csr(const std::string& path, const Csr& g) {
+  auto out = open_out(path, std::ios::binary);
+  write_pod(out, kCsrMagic);
+  write_pod(out, g.num_vertices());
+  write_pod(out, static_cast<std::uint64_t>(g.num_edges()));
+  out.write(reinterpret_cast<const char*>(g.row_ptr().data()),
+            static_cast<std::streamsize>(g.row_ptr().size() * sizeof(EdgeIndex)));
+  out.write(reinterpret_cast<const char*>(g.col().data()),
+            static_cast<std::streamsize>(g.col().size() * sizeof(VertexId)));
+  if (!out) io_fail(path, "write failed");
+}
+
+Coo read_matrix_market(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    io_fail(path, "missing MatrixMarket banner");
+  }
+  if (line.find("coordinate") == std::string::npos) {
+    io_fail(path, "only coordinate format is supported");
+  }
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hdr(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  if (!(hdr >> rows >> cols >> nnz)) io_fail(path, "malformed size line");
+  Coo g;
+  g.num_vertices = static_cast<VertexId>(std::max(rows, cols));
+  g.edges.reserve(nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    if (!std::getline(in, line)) io_fail(path, "truncated entry list");
+    std::istringstream es(line);
+    std::uint64_t r = 0, c = 0;
+    if (!(es >> r >> c) || r == 0 || c == 0 || r > rows || c > cols) {
+      io_fail(path, "malformed entry at nnz index " + std::to_string(i));
+    }
+    g.edges.emplace_back(static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1));
+  }
+  return g;
+}
+
+void write_matrix_market(const std::string& path, const Coo& g) {
+  auto out = open_out(path, std::ios::out);
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << g.num_vertices << ' ' << g.num_vertices << ' ' << g.edges.size() << '\n';
+  for (const auto& [u, v] : g.edges) out << (u + 1) << ' ' << (v + 1) << '\n';
+  if (!out) io_fail(path, "write failed");
+}
+
+}  // namespace tcgpu::graph

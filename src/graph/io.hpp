@@ -1,0 +1,31 @@
+// Data transformation tools (§IV): readers/writers for the interchange
+// formats the published implementations consume — SNAP-style text edge
+// lists, packed binary edge lists, binary CSR images, and MatrixMarket
+// coordinate files. All readers throw std::runtime_error with the offending
+// path/line on malformed input.
+#pragma once
+
+#include <string>
+
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace tcgpu::graph {
+
+// --- text edge list (SNAP style: "u v" per line, '#'/'%' comments) --------
+Coo read_text_edge_list(const std::string& path);
+void write_text_edge_list(const std::string& path, const Coo& g);
+
+// --- binary edge list ("TCGB" header, u32 pairs) ---------------------------
+Coo read_binary_edge_list(const std::string& path);
+void write_binary_edge_list(const std::string& path, const Coo& g);
+
+// --- binary CSR image ("TCSR" header) --------------------------------------
+Csr read_binary_csr(const std::string& path);
+void write_binary_csr(const std::string& path, const Csr& g);
+
+// --- MatrixMarket coordinate (pattern, 1-based) -----------------------------
+Coo read_matrix_market(const std::string& path);
+void write_matrix_market(const std::string& path, const Coo& g);
+
+}  // namespace tcgpu::graph

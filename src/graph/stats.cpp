@@ -1,0 +1,33 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+namespace tcgpu::graph {
+
+GraphStats compute_stats(const Csr& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_undirected_edges = g.num_edges() / 2;
+  if (s.num_vertices == 0) return s;
+
+  std::vector<EdgeIndex> degrees(s.num_vertices);
+  for (VertexId v = 0; v < s.num_vertices; ++v) degrees[v] = g.degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  s.max_degree = degrees.back();
+  s.median_degree = degrees[degrees.size() / 2];
+  s.p99_degree = degrees[static_cast<std::size_t>(
+      static_cast<double>(degrees.size() - 1) * 0.99)];
+  s.avg_degree =
+      static_cast<double>(g.num_edges()) / static_cast<double>(s.num_vertices);
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Csr& g) {
+  EdgeIndex max_d = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) max_d = std::max(max_d, g.degree(v));
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_d) + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) hist[g.degree(v)]++;
+  return hist;
+}
+
+}  // namespace tcgpu::graph

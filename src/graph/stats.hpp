@@ -1,0 +1,28 @@
+// Dataset statistics — what Table II reports per graph, plus the degree
+// distribution quantities the paper's analysis leans on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace tcgpu::graph {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  std::uint64_t num_undirected_edges = 0;
+  double avg_degree = 0.0;
+  EdgeIndex max_degree = 0;
+  EdgeIndex median_degree = 0;
+  EdgeIndex p99_degree = 0;
+  EdgeIndex max_out_degree = 0;  ///< of the degree-oriented DAG, if provided
+};
+
+/// Stats of a simple undirected graph (symmetric CSR).
+GraphStats compute_stats(const Csr& undirected);
+
+/// Degree histogram: hist[d] = number of vertices with degree d.
+std::vector<std::uint64_t> degree_histogram(const Csr& undirected);
+
+}  // namespace tcgpu::graph

@@ -1,0 +1,20 @@
+// Fundamental graph index types.
+//
+// Vertex ids and edge indices are 32-bit, matching the device arrays the
+// paper's kernels traffic in (wider indices would double the memory traffic
+// the study measures). Builders check for overflow when assembling graphs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tcgpu::graph {
+
+using VertexId = std::uint32_t;
+using EdgeIndex = std::uint32_t;
+using Edge = std::pair<VertexId, VertexId>;
+
+constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+
+}  // namespace tcgpu::graph

@@ -1,0 +1,5 @@
+#include "simt/device.hpp"
+
+// Device is header-only apart from this translation unit, which exists to
+// anchor the library target and keep the build layout uniform.
+namespace tcgpu::simt {}

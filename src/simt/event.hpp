@@ -1,0 +1,52 @@
+// Per-lane memory access events recorded during simulated kernel execution.
+//
+// Every metered memory operation issued by a lane (global/shared,
+// load/store/atomic) appends one Event to the lane's trace. After the 32
+// lanes of a warp finish a phase, the WarpAggregator aligns events across
+// lanes by (call site, occurrence index) — the simulator's model of a
+// warp-level instruction — and derives nvprof-style metrics from the groups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tcgpu::simt {
+
+/// Classification of a metered memory operation.
+enum class AccessKind : std::uint8_t {
+  kGlobalLoad = 0,
+  kGlobalStore = 1,
+  kGlobalAtomic = 2,
+  kSharedLoad = 3,
+  kSharedStore = 4,
+  kSharedAtomic = 5,
+};
+
+/// True for the three kinds that touch device global memory.
+constexpr bool is_global(AccessKind k) {
+  return k == AccessKind::kGlobalLoad || k == AccessKind::kGlobalStore ||
+         k == AccessKind::kGlobalAtomic;
+}
+
+/// One metered access issued by one lane.
+struct Event {
+  std::uint64_t addr;  ///< byte address (device VA for global, arena offset for shared)
+  std::uint32_t site;  ///< dense id of the issuing call site
+  AccessKind kind;
+  std::uint8_t size;  ///< access width in bytes
+};
+
+/// Everything one lane did during one aggregation unit (one phase of one
+/// work item). Reused across lanes/items to avoid allocation churn.
+struct LaneTrace {
+  std::vector<Event> events;
+  std::uint64_t compute_steps = 0;  ///< pure-ALU work reported via ThreadCtx::compute()
+
+  void clear() {
+    events.clear();
+    compute_steps = 0;
+  }
+  bool empty() const { return events.empty() && compute_steps == 0; }
+};
+
+}  // namespace tcgpu::simt

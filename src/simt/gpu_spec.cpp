@@ -1,0 +1,25 @@
+#include "simt/gpu_spec.hpp"
+
+namespace tcgpu::simt {
+
+GpuSpec GpuSpec::v100() {
+  GpuSpec s;
+  s.name = "Tesla V100";
+  s.sm_count = 80;
+  s.shared_mem_per_block = 48 * 1024;
+  s.clock_ghz = 1.38;
+  s.mem_bandwidth_gbps = 900.0;
+  return s;
+}
+
+GpuSpec GpuSpec::rtx4090() {
+  GpuSpec s;
+  s.name = "RTX 4090";
+  s.sm_count = 144;  // per the paper's platform description
+  s.shared_mem_per_block = 100 * 1024;
+  s.clock_ghz = 2.52;
+  s.mem_bandwidth_gbps = 1008.0;
+  return s;
+}
+
+}  // namespace tcgpu::simt

@@ -1,0 +1,56 @@
+// Device model: the static parameters and cost weights of the simulated GPU.
+//
+// The simulator counts architectural events (warp instruction steps, global
+// memory transactions, shared-memory accesses and bank conflicts, atomics)
+// and converts them to modeled kernel time through this spec. Two presets
+// mirror the paper's testbed: Tesla V100 (the card all reported numbers come
+// from) and RTX 4090.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tcgpu::simt {
+
+struct GpuSpec {
+  std::string name = "generic";
+
+  // --- architecture -------------------------------------------------------
+  std::uint32_t sm_count = 80;             ///< streaming multiprocessors
+  std::uint32_t warp_size = 32;            ///< lanes per warp (fixed by the model)
+  std::uint32_t max_threads_per_block = 1024;
+  std::uint32_t shared_mem_per_block = 48 * 1024;  ///< bytes
+  std::uint32_t sector_bytes = 32;         ///< global-memory transaction granularity
+  std::uint32_t shared_banks = 32;         ///< 4-byte-interleaved banks
+  double clock_ghz = 1.38;                 ///< SM clock
+  double mem_bandwidth_gbps = 900.0;       ///< device-wide global bandwidth
+
+  // --- cost model (cycles) -------------------------------------------------
+  // A warp instruction step costs issue_cycles. Each 32-byte global
+  // transaction is looked up in a per-SM direct-mapped sector cache (the
+  // L1/L2 stand-in): hits cost l1_hit_cycles, misses cost
+  // global_cycles_per_transaction and count toward the device-wide DRAM
+  // bandwidth bound. Shared accesses cost shared_cycles_per_access times
+  // the bank-conflict degree. Atomics add atomic_extra_cycles on top.
+  double issue_cycles = 1.0;
+  double global_cycles_per_transaction = 6.0;  ///< cache-miss (DRAM) cost
+  double l1_hit_cycles = 1.0;
+  std::uint32_t l1_cache_sectors = 4096;  ///< 4096 x 32 B = 128 KiB per SM
+  double shared_cycles_per_access = 1.0;
+  double atomic_extra_cycles = 6.0;
+  /// Fixed driver/runtime cost charged per kernel launch. This is what makes
+  /// multi-kernel, heavy-setup algorithms pay on tiny graphs where the
+  /// counting work itself is microseconds (the paper's §V explanation of
+  /// TRUST's weakness on small datasets).
+  double launch_overhead_us = 4.0;
+
+  /// Device-wide bytes per SM-clock cycle (used for the bandwidth bound).
+  double bytes_per_cycle() const {
+    return mem_bandwidth_gbps * 1e9 / (clock_ghz * 1e9);
+  }
+
+  static GpuSpec v100();
+  static GpuSpec rtx4090();
+};
+
+}  // namespace tcgpu::simt

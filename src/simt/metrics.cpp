@@ -1,0 +1,23 @@
+#include "simt/metrics.hpp"
+
+namespace tcgpu::simt {
+
+KernelMetrics& KernelMetrics::operator+=(const KernelMetrics& o) {
+  global_load_requests += o.global_load_requests;
+  global_load_transactions += o.global_load_transactions;
+  global_store_requests += o.global_store_requests;
+  global_store_transactions += o.global_store_transactions;
+  global_atomic_requests += o.global_atomic_requests;
+  global_atomic_transactions += o.global_atomic_transactions;
+  global_dram_transactions += o.global_dram_transactions;
+  shared_load_requests += o.shared_load_requests;
+  shared_store_requests += o.shared_store_requests;
+  shared_atomic_requests += o.shared_atomic_requests;
+  shared_conflict_cycles += o.shared_conflict_cycles;
+  warp_steps += o.warp_steps;
+  active_lane_steps += o.active_lane_steps;
+  warps_launched += o.warps_launched;
+  return *this;
+}
+
+}  // namespace tcgpu::simt

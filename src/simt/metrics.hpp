@@ -1,0 +1,60 @@
+// nvprof-style counters produced by a simulated kernel launch.
+//
+// The three metrics the paper profiles (§IV "Metrics") are derived exactly
+// as the CUDA profiler defines them:
+//   global_load_requests        — one per warp-level global load instruction
+//   gld_transactions_per_request — 32-byte sectors touched / requests
+//   warp_execution_efficiency   — avg active lanes per warp step / 32
+#pragma once
+
+#include <cstdint>
+
+namespace tcgpu::simt {
+
+struct KernelMetrics {
+  std::uint64_t global_load_requests = 0;
+  std::uint64_t global_load_transactions = 0;
+  std::uint64_t global_store_requests = 0;
+  std::uint64_t global_store_transactions = 0;
+  std::uint64_t global_atomic_requests = 0;
+  std::uint64_t global_atomic_transactions = 0;
+  std::uint64_t global_dram_transactions = 0;  ///< sector-cache misses
+  std::uint64_t shared_load_requests = 0;
+  std::uint64_t shared_store_requests = 0;
+  std::uint64_t shared_atomic_requests = 0;
+  std::uint64_t shared_conflict_cycles = 0;  ///< extra cycles from bank conflicts
+  std::uint64_t warp_steps = 0;              ///< aligned warp instruction steps
+  std::uint64_t active_lane_steps = 0;       ///< Σ active lanes over all steps
+  std::uint64_t warps_launched = 0;
+
+  double warp_execution_efficiency() const {
+    if (warp_steps == 0) return 1.0;
+    return static_cast<double>(active_lane_steps) /
+           (32.0 * static_cast<double>(warp_steps));
+  }
+  double gld_transactions_per_request() const {
+    if (global_load_requests == 0) return 0.0;
+    return static_cast<double>(global_load_transactions) /
+           static_cast<double>(global_load_requests);
+  }
+  std::uint64_t global_transactions_total() const {
+    return global_load_transactions + global_store_transactions +
+           global_atomic_transactions;
+  }
+
+  KernelMetrics& operator+=(const KernelMetrics& o);
+};
+
+/// Result of one simulated launch: counters plus modeled kernel time.
+struct KernelStats {
+  KernelMetrics metrics;
+  double time_ms = 0.0;
+
+  KernelStats& operator+=(const KernelStats& o) {
+    metrics += o.metrics;
+    time_ms += o.time_ms;  // sequential kernel launches add up
+    return *this;
+  }
+};
+
+}  // namespace tcgpu::simt

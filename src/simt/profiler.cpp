@@ -1,0 +1,34 @@
+#include "simt/profiler.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace tcgpu::simt {
+
+void Profiler::record(std::string kernel_name, const KernelStats& stats) {
+  launches_.push_back({std::move(kernel_name), stats});
+}
+
+KernelStats Profiler::total() const {
+  KernelStats t;
+  for (const auto& l : launches_) t += l.stats;
+  return t;
+}
+
+void Profiler::report(std::ostream& os) const {
+  os << std::left << std::setw(28) << "kernel" << std::right << std::setw(12)
+     << "time(ms)" << std::setw(16) << "gld_requests" << std::setw(16)
+     << "gld_tx/req" << std::setw(14) << "warp_eff%" << '\n';
+  auto row = [&os](const std::string& name, const KernelStats& s) {
+    os << std::left << std::setw(28) << name << std::right << std::setw(12)
+       << std::fixed << std::setprecision(4) << s.time_ms << std::setw(16)
+       << s.metrics.global_load_requests << std::setw(16) << std::setprecision(2)
+       << s.metrics.gld_transactions_per_request() << std::setw(14)
+       << std::setprecision(1) << s.metrics.warp_execution_efficiency() * 100.0
+       << '\n';
+  };
+  for (const auto& l : launches_) row(l.name, l.stats);
+  if (launches_.size() > 1) row("[total]", total());
+}
+
+}  // namespace tcgpu::simt

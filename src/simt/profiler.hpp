@@ -1,0 +1,41 @@
+// nvprof-like textual reporting over KernelStats.
+//
+// The Profiler accumulates the stats of every launch an algorithm performs
+// (most algorithms here are one kernel; TRUST and Fox launch several) and
+// renders the metrics the paper reports, in the units the paper plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simt/metrics.hpp"
+
+namespace tcgpu::simt {
+
+class Profiler {
+ public:
+  /// Records one kernel launch under `kernel_name`.
+  void record(std::string kernel_name, const KernelStats& stats);
+
+  /// Combined stats over all recorded launches.
+  KernelStats total() const;
+
+  std::size_t launch_count() const { return launches_.size(); }
+  const KernelStats& launch(std::size_t i) const { return launches_[i].stats; }
+  const std::string& launch_name(std::size_t i) const { return launches_[i].name; }
+
+  /// Renders an nvprof-style per-kernel table followed by totals.
+  void report(std::ostream& os) const;
+
+  void clear() { launches_.clear(); }
+
+ private:
+  struct Launch {
+    std::string name;
+    KernelStats stats;
+  };
+  std::vector<Launch> launches_;
+};
+
+}  // namespace tcgpu::simt

@@ -1,0 +1,3 @@
+#include "simt/shared_memory.hpp"
+
+namespace tcgpu::simt {}

@@ -1,0 +1,84 @@
+// Per-block shared memory ("programmable L1") for the simulated GPU.
+//
+// Kernels obtain typed views via ThreadCtx::shared_array<T>(n): allocations
+// are keyed by call site, so every thread of the block asking at the same
+// program point sees the same storage — the analogue of a __shared__ array.
+// Addresses within the arena feed the 32-bank conflict model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tcgpu::simt {
+
+template <class T>
+class SharedView {
+ public:
+  SharedView() = default;
+  SharedView(T* data, std::uint32_t offset, std::size_t size)
+      : data_(data), offset_(offset), size_(size) {}
+
+  std::size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+  /// Byte offset within the block's arena (the "shared address").
+  std::uint64_t offset_of(std::size_t i) const { return offset_ + i * sizeof(T); }
+  T* raw() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::uint32_t offset_ = 0;
+  std::size_t size_ = 0;
+};
+
+class SharedArena {
+ public:
+  explicit SharedArena(std::uint32_t capacity_bytes) : mem_(capacity_bytes) {}
+
+  std::uint32_t capacity() const { return static_cast<std::uint32_t>(mem_.size()); }
+  std::uint32_t used() const { return used_; }
+
+  /// Returns the allocation for `site`, creating it on first use.
+  /// Throws std::length_error when the block's shared memory is exhausted
+  /// (the simulated analogue of a launch failure).
+  std::pair<std::byte*, std::uint32_t> get(std::uint32_t site, std::size_t bytes,
+                                           std::size_t align) {
+    for (const auto& [s, off, len] : allocs_) {
+      if (s == site) {
+        if (len < bytes) {
+          throw std::length_error(
+              "shared_array re-requested with a larger size at the same site");
+        }
+        return {mem_.data() + off, off};
+      }
+    }
+    std::uint32_t off =
+        static_cast<std::uint32_t>((used_ + align - 1) / align * align);
+    if (off + bytes > mem_.size()) {
+      throw std::length_error("shared memory exhausted for this block size");
+    }
+    allocs_.push_back({site, off, static_cast<std::uint32_t>(bytes)});
+    used_ = off + static_cast<std::uint32_t>(bytes);
+    return {mem_.data() + off, off};
+  }
+
+  /// Forgets all allocations (between blocks). Contents are not cleared —
+  /// like real shared memory, values are undefined until written.
+  void reset() {
+    allocs_.clear();
+    used_ = 0;
+  }
+
+ private:
+  struct Alloc {
+    std::uint32_t site;
+    std::uint32_t offset;
+    std::uint32_t bytes;
+  };
+  std::vector<std::byte> mem_;
+  std::vector<Alloc> allocs_;
+  std::uint32_t used_ = 0;
+};
+
+}  // namespace tcgpu::simt

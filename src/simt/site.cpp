@@ -1,0 +1,68 @@
+#include "simt/site.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcgpu::simt {
+namespace {
+
+constexpr std::size_t kTableSize = 1 << 14;  // 16384 slots, power of two
+
+struct Slot {
+  std::atomic<std::uint64_t> key{0};
+  std::atomic<std::uint32_t> id{0};
+};
+
+Slot g_table[kTableSize];
+std::atomic<std::uint32_t> g_next_id{1};
+
+std::uint64_t hash_loc(const std::source_location& loc) {
+  // file_name() returns a pointer into static storage, stable per call site.
+  auto h = reinterpret_cast<std::uintptr_t>(loc.file_name());
+  std::uint64_t key = static_cast<std::uint64_t>(h);
+  key ^= (static_cast<std::uint64_t>(loc.line()) << 32) ^ loc.column();
+  // splitmix64 finalizer
+  key += 0x9e3779b97f4a7c15ULL;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return key == 0 ? 1 : key;  // 0 is the empty-slot sentinel
+}
+
+}  // namespace
+
+std::uint32_t site_id(const std::source_location& loc) {
+  const std::uint64_t key = hash_loc(loc);
+  std::size_t idx = key & (kTableSize - 1);
+  for (std::size_t probe = 0; probe < kTableSize; ++probe) {
+    std::uint64_t existing = g_table[idx].key.load(std::memory_order_acquire);
+    if (existing == key) {
+      return g_table[idx].id.load(std::memory_order_relaxed);
+    }
+    if (existing == 0) {
+      std::uint64_t expected = 0;
+      if (g_table[idx].key.compare_exchange_strong(expected, key,
+                                                   std::memory_order_acq_rel)) {
+        const std::uint32_t id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+        g_table[idx].id.store(id, std::memory_order_release);
+        return id;
+      }
+      if (expected == key) {  // lost the race to the same key
+        // id may still be being written; spin briefly.
+        std::uint32_t id;
+        while ((id = g_table[idx].id.load(std::memory_order_acquire)) == 0) {
+        }
+        return id;
+      }
+    }
+    idx = (idx + 1) & (kTableSize - 1);
+  }
+  std::fprintf(stderr, "tcgpu::simt: site table exhausted (>%zu call sites)\n",
+               kTableSize);
+  std::abort();
+}
+
+std::uint32_t site_count() { return g_next_id.load() - 1; }
+
+}  // namespace tcgpu::simt

@@ -1,0 +1,21 @@
+// Call-site identity for metered accesses.
+//
+// ThreadCtx meters every access with a std::source_location (defaulted at
+// the call site). Occurrence alignment in the warp aggregator needs a dense,
+// cheap-to-compare site id, so this module interns locations into uint32 ids
+// via a lock-free fixed-size hash table (sites are static program points —
+// a few dozen per kernel — so the table never fills in practice).
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+
+namespace tcgpu::simt {
+
+/// Interns a source location, returning a stable dense id (process-wide).
+std::uint32_t site_id(const std::source_location& loc);
+
+/// Number of distinct sites interned so far (for tests/diagnostics).
+std::uint32_t site_count();
+
+}  // namespace tcgpu::simt

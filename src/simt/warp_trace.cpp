@@ -1,0 +1,249 @@
+#include "simt/warp_trace.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace tcgpu::simt {
+namespace {
+
+/// Collects the distinct 32-byte sectors touched by one aligned group into
+/// `out` (group size <= warp size, so a small insertion set is fastest).
+std::uint32_t distinct_sectors(const std::uint64_t* addrs, std::uint32_t size,
+                               std::uint32_t n, std::uint32_t sector_bytes,
+                               std::array<std::uint64_t, 64>& out) {
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // A single access can straddle sectors; cover its full byte range.
+    const std::uint64_t first = addrs[i] / sector_bytes;
+    const std::uint64_t last = (addrs[i] + size - 1) / sector_bytes;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      bool seen = false;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        if (out[j] == s) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && count < out.size()) out[count++] = s;
+    }
+  }
+  return count;
+}
+
+/// Bank-conflict degree of one aligned shared-memory group: the maximum,
+/// over banks, of the number of *distinct words* accessed in that bank.
+/// 1 means conflict-free (or broadcast); d means the access replays d times.
+std::uint32_t conflict_degree(const std::uint64_t* addrs, std::uint32_t n,
+                              std::uint32_t banks) {
+  std::array<std::uint64_t, 32> words;  // distinct words seen
+  std::array<std::uint8_t, 32> per_bank{};
+  std::uint32_t nwords = 0;
+  std::uint32_t worst = 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t word = addrs[i] >> 2;
+    bool seen = false;
+    for (std::uint32_t j = 0; j < nwords; ++j) {
+      if (words[j] == word) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    if (nwords < words.size()) words[nwords++] = word;
+    const std::uint32_t bank = static_cast<std::uint32_t>(word % banks);
+    per_bank[bank]++;
+    worst = std::max<std::uint32_t>(worst, per_bank[bank]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+std::uint32_t WarpAggregator::cache_access(const std::uint64_t* sectors,
+                                           std::uint32_t n) {
+  std::uint32_t misses = 0;
+  const std::uint32_t mask = spec_->l1_cache_sectors - 1;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t s = sectors[i];
+    const std::uint32_t slot = static_cast<std::uint32_t>(s) & mask;
+    if (cache_[slot] != s) {
+      cache_[slot] = s;
+      ++misses;
+    }
+  }
+  return misses;
+}
+
+// The flush groups each lane's k-th access at a call site with every other
+// lane's k-th access there ("occurrence alignment" — see the header). It is
+// implemented as one counting sort keyed by (site, lane), which preserves
+// each lane's program order, so within a (site, lane) slice the events are
+// already in occurrence order — no comparison sort needed on the hot path.
+double WarpAggregator::flush(KernelMetrics& m) {
+  const GpuSpec& spec = *spec_;
+  const std::uint32_t W = warp_size();
+
+  std::uint64_t max_compute = 0;
+  std::uint64_t sum_compute = 0;
+  std::size_t total_events = 0;
+  bool any = false;
+  for (std::uint32_t l = 0; l < W; ++l) {
+    const LaneTrace& t = lanes_[l];
+    if (!t.empty()) any = true;
+    max_compute = std::max(max_compute, t.compute_steps);
+    sum_compute += t.compute_steps;
+    total_events += t.events.size();
+  }
+  if (!any) return 0.0;
+
+  // --- pass 1: intern sites into dense local ids ---------------------------
+  site_local_.clear();
+  auto local_of = [this](std::uint32_t site) -> std::uint32_t {
+    for (std::uint32_t i = 0; i < site_local_.size(); ++i) {
+      if (site_local_[i] == site) return i;
+    }
+    site_local_.push_back(site);
+    return static_cast<std::uint32_t>(site_local_.size() - 1);
+  };
+
+  // --- pass 2: counting sort by (local site, lane) -------------------------
+  // Slot layout: slot = local_site * W + lane.
+  local_ids_.clear();
+  std::size_t pos = 0;
+  for (std::uint32_t l = 0; l < W; ++l) {
+    for (const Event& e : lanes_[l].events) {
+      (void)pos;
+      local_ids_.push_back(local_of(e.site));
+    }
+  }
+  const std::uint32_t S = static_cast<std::uint32_t>(site_local_.size());
+  slot_count_.assign(static_cast<std::size_t>(S) * W + 1, 0);
+  {
+    std::size_t idx = 0;
+    for (std::uint32_t l = 0; l < W; ++l) {
+      for (const Event& e : lanes_[l].events) {
+        (void)e;
+        slot_count_[static_cast<std::size_t>(local_ids_[idx]) * W + l + 1]++;
+        ++idx;
+      }
+    }
+  }
+  for (std::size_t i = 1; i < slot_count_.size(); ++i) {
+    slot_count_[i] += slot_count_[i - 1];
+  }
+  sorted_addr_.resize(total_events);
+  sorted_kind_.resize(total_events);
+  sorted_size_.resize(total_events);
+  slot_cursor_.assign(slot_count_.begin(), slot_count_.end() - 1);
+  {
+    std::size_t idx = 0;
+    for (std::uint32_t l = 0; l < W; ++l) {
+      for (const Event& e : lanes_[l].events) {
+        const std::size_t slot = static_cast<std::size_t>(local_ids_[idx]) * W + l;
+        const std::size_t at = slot_cursor_[slot]++;
+        sorted_addr_[at] = e.addr;
+        sorted_kind_[at] = static_cast<std::uint8_t>(e.kind);
+        sorted_size_[at] = e.size;
+        ++idx;
+      }
+    }
+  }
+
+  // --- pass 3: walk occurrence groups per site ------------------------------
+  std::uint64_t steps = max_compute;
+  std::uint64_t active = sum_compute;
+  double cycles = static_cast<double>(max_compute) * spec.issue_cycles;
+
+  std::array<std::uint64_t, 64> addrs;
+  std::array<std::uint64_t, 64> sectors;
+  auto global_cost = [&](std::uint32_t n, std::uint8_t size) {
+    const std::uint32_t tx =
+        distinct_sectors(addrs.data(), size, n, spec.sector_bytes, sectors);
+    const std::uint32_t misses = cache_access(sectors.data(), tx);
+    m.global_dram_transactions += misses;
+    cycles += misses * spec.global_cycles_per_transaction +
+              (tx - misses) * spec.l1_hit_cycles;
+    return tx;
+  };
+  for (std::uint32_t s = 0; s < S; ++s) {
+    const std::size_t base = static_cast<std::size_t>(s) * W;
+    std::uint32_t max_occ = 0;
+    for (std::uint32_t l = 0; l < W; ++l) {
+      max_occ = std::max<std::uint32_t>(
+          max_occ,
+          static_cast<std::uint32_t>(slot_count_[base + l + 1] - slot_count_[base + l]));
+    }
+    for (std::uint32_t k = 0; k < max_occ; ++k) {
+      std::uint32_t n = 0;
+      AccessKind kind{};
+      std::uint8_t size = 4;
+      for (std::uint32_t l = 0; l < W; ++l) {
+        const std::size_t lo = slot_count_[base + l];
+        const std::size_t hi = slot_count_[base + l + 1];
+        if (lo + k < hi && n < addrs.size()) {
+          const std::size_t at = lo + k;
+          addrs[n] = sorted_addr_[at];
+          kind = static_cast<AccessKind>(sorted_kind_[at]);
+          size = sorted_size_[at];
+          ++n;
+        }
+      }
+      steps += 1;
+      active += n;
+      cycles += spec.issue_cycles;
+      switch (kind) {
+        case AccessKind::kGlobalLoad: {
+          const std::uint32_t tx = global_cost(n, size);
+          m.global_load_requests += 1;
+          m.global_load_transactions += tx;
+          break;
+        }
+        case AccessKind::kGlobalStore: {
+          const std::uint32_t tx = global_cost(n, size);
+          m.global_store_requests += 1;
+          m.global_store_transactions += tx;
+          break;
+        }
+        case AccessKind::kGlobalAtomic: {
+          const std::uint32_t tx = global_cost(n, size);
+          m.global_atomic_requests += 1;
+          m.global_atomic_transactions += tx;
+          cycles += n * spec.atomic_extra_cycles;
+          break;
+        }
+        case AccessKind::kSharedLoad: {
+          const std::uint32_t deg =
+              conflict_degree(addrs.data(), n, spec.shared_banks);
+          m.shared_load_requests += 1;
+          m.shared_conflict_cycles += deg - 1;
+          cycles += deg * spec.shared_cycles_per_access;
+          break;
+        }
+        case AccessKind::kSharedStore: {
+          const std::uint32_t deg =
+              conflict_degree(addrs.data(), n, spec.shared_banks);
+          m.shared_store_requests += 1;
+          m.shared_conflict_cycles += deg - 1;
+          cycles += deg * spec.shared_cycles_per_access;
+          break;
+        }
+        case AccessKind::kSharedAtomic: {
+          const std::uint32_t deg =
+              conflict_degree(addrs.data(), n, spec.shared_banks);
+          m.shared_atomic_requests += 1;
+          m.shared_conflict_cycles += deg - 1;
+          cycles +=
+              deg * spec.shared_cycles_per_access + n * spec.atomic_extra_cycles;
+          break;
+        }
+      }
+    }
+  }
+
+  for (std::uint32_t l = 0; l < W; ++l) lanes_[l].clear();
+  m.warp_steps += steps;
+  m.active_lane_steps += active;
+  return cycles;
+}
+
+}  // namespace tcgpu::simt

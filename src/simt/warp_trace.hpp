@@ -1,0 +1,70 @@
+// Warp-level aggregation of lane traces into architectural events.
+//
+// Lanes of a warp are executed sequentially by the host, each producing a
+// LaneTrace. Real SIMT hardware executes them in lockstep, so the
+// aggregator reconstructs warp-level instructions by aligning events across
+// lanes on (call site, occurrence index): the k-th access a lane issues at a
+// given program point lines up with the k-th access every other lane issues
+// there. For the loop-trip-count divergence that dominates triangle-counting
+// kernels this alignment is exact; lanes that ran out of work simply have no
+// k-th occurrence and count as inactive — which is precisely what
+// warp_execution_efficiency measures.
+//
+// Per aligned group the aggregator derives:
+//   * global kinds — one request, plus one transaction per distinct
+//     32-byte sector touched by the group's addresses (nvprof's definition);
+//   * shared kinds — one request, plus bank-conflict degree: accesses that
+//     hit the same 4-byte-interleaved bank at different word addresses
+//     serialize (same-word access broadcasts);
+//   * cycle cost via the GpuSpec weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/event.hpp"
+#include "simt/gpu_spec.hpp"
+#include "simt/metrics.hpp"
+
+namespace tcgpu::simt {
+
+class WarpAggregator {
+ public:
+  explicit WarpAggregator(const GpuSpec& spec) : spec_(&spec), lanes_(spec.warp_size) {
+    reset_cache();
+  }
+
+  LaneTrace& lane(std::uint32_t l) { return lanes_[l]; }
+  std::uint32_t warp_size() const { return static_cast<std::uint32_t>(lanes_.size()); }
+
+  /// Clears the SM sector cache. The launcher calls this when the simulated
+  /// block it is executing moves to a fresh SM context, keeping cache state
+  /// deterministic regardless of host-thread scheduling.
+  void reset_cache() { cache_.assign(spec_->l1_cache_sectors, kNoSector); }
+
+  /// Aggregates all lane traces into `m`, returns the modeled cycle cost of
+  /// this unit, and clears the lanes for reuse. A unit with no events and no
+  /// compute work costs nothing and adds no steps.
+  double flush(KernelMetrics& m);
+
+ private:
+  static constexpr std::uint64_t kNoSector = ~0ull;
+
+  /// Looks up `n` sector ids in the direct-mapped cache, installing misses.
+  /// Returns the number of misses (DRAM transactions).
+  std::uint32_t cache_access(const std::uint64_t* sectors, std::uint32_t n);
+
+  const GpuSpec* spec_;
+  std::vector<LaneTrace> lanes_;
+  std::vector<std::uint64_t> cache_;
+  // Reused counting-sort scratch (see flush() for the layout).
+  std::vector<std::uint32_t> site_local_;
+  std::vector<std::uint32_t> local_ids_;
+  std::vector<std::size_t> slot_count_;
+  std::vector<std::size_t> slot_cursor_;
+  std::vector<std::uint64_t> sorted_addr_;
+  std::vector<std::uint8_t> sorted_kind_;
+  std::vector<std::uint8_t> sorted_size_;
+};
+
+}  // namespace tcgpu::simt

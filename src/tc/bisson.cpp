@@ -1,0 +1,196 @@
+#include "tc/bisson.hpp"
+
+#include <algorithm>
+
+namespace tcgpu::tc {
+namespace {
+
+constexpr std::uint32_t bit_word(std::uint32_t v) { return v >> 5; }
+constexpr std::uint32_t bit_mask(std::uint32_t v) { return 1u << (v & 31u); }
+
+}  // namespace
+
+AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "bisson_count");
+  AlgoResult r;
+
+  const double avg_out_degree =
+      g.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(g.num_edges) / static_cast<double>(g.num_vertices);
+  // Table II's avg degree is the undirected one (2E/V); the paper's 38/3.8
+  // switch refers to it, so compare against 2 * E/V.
+  const double avg_degree = 2.0 * avg_out_degree;
+
+  const std::uint32_t words = (g.num_vertices + 31) / 32;
+
+  if (avg_degree > cfg_.block_threshold) {
+    // ---- block per vertex ------------------------------------------------
+    simt::LaunchConfig cfg;
+    cfg.block = cfg_.block;
+    cfg.group_size = cfg_.block;
+    cfg.grid = std::min<std::uint32_t>(pick_grid(spec, g.num_vertices, cfg.block, cfg.block),
+                                       2 * spec.sm_count);
+    const bool in_shared = words * 4ull <= spec.shared_mem_per_block;
+    simt::DeviceBuffer<std::uint32_t> scratch;
+    if (!in_shared) {
+      scratch = dev.alloc<std::uint32_t>(static_cast<std::size_t>(cfg.grid) * words,
+                                         "bisson_bitmap");
+    }
+
+    auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
+        const std::uint32_t v = ctx.load(g.col, i);
+        if (in_shared) {
+          auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
+          ctx.shared_atomic_or(bm, bit_word(v), bit_mask(v));
+        } else {
+          ctx.atomic_or(scratch,
+                        static_cast<std::size_t>(ctx.block_id()) * words + bit_word(v),
+                        bit_mask(v));
+        }
+      }
+    };
+    auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      std::uint64_t local = 0;
+      // One thread processes one 2-hop list (§III-C).
+      for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
+        const std::uint32_t v = ctx.load(g.col, i);
+        const std::uint32_t vb = ctx.load(g.row_ptr, v);
+        const std::uint32_t vend = ctx.load(g.row_ptr, v + 1);
+        for (std::uint32_t j = vb; j < vend; ++j) {
+          const std::uint32_t w = ctx.load(g.col, j);
+          std::uint32_t word;
+          if (in_shared) {
+            auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
+            word = ctx.shared_load(bm, bit_word(w));
+          } else {
+            word = ctx.load(scratch,
+                            static_cast<std::size_t>(ctx.block_id()) * words +
+                                bit_word(w));
+          }
+          if (word & bit_mask(w)) ++local;
+        }
+      }
+      flush_count(ctx, counter, local);
+    };
+    auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
+        const std::uint32_t v = ctx.load(g.col, i);
+        if (in_shared) {
+          auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
+          ctx.shared_store(bm, bit_word(v), 0u);
+        } else {
+          ctx.store(scratch,
+                    static_cast<std::size_t>(ctx.block_id()) * words + bit_word(v), 0u);
+        }
+      }
+    };
+
+    auto stats = simt::launch_items<simt::NoState>(spec, cfg, g.num_vertices, set_bit,
+                                                   probe, clear_bit);
+    r.add_launch(in_shared ? "bisson_block_shared" : "bisson_block_global", stats);
+  } else if (avg_degree > cfg_.warp_threshold) {
+    // ---- warp per vertex ---------------------------------------------------
+    simt::LaunchConfig cfg;
+    cfg.block = cfg_.block;
+    cfg.group_size = 32;
+    cfg.grid = std::min<std::uint32_t>(pick_grid(spec, g.num_vertices, 32, cfg.block),
+                                       spec.sm_count);
+    const std::uint32_t warps = cfg.grid * (cfg.block / 32);
+    auto scratch = dev.alloc<std::uint32_t>(static_cast<std::size_t>(warps) * words,
+                                            "bisson_bitmap_warp");
+    auto slot = [&](simt::ThreadCtx& ctx) {
+      return static_cast<std::size_t>(ctx.block_id() * (ctx.block_dim() / 32) +
+                                      ctx.warp_in_block()) *
+             words;
+    };
+
+    auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
+        const std::uint32_t v = ctx.load(g.col, i);
+        ctx.atomic_or(scratch, slot(ctx) + bit_word(v), bit_mask(v));
+      }
+    };
+    auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      std::uint64_t local = 0;
+      for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
+        const std::uint32_t v = ctx.load(g.col, i);
+        const std::uint32_t vb = ctx.load(g.row_ptr, v);
+        const std::uint32_t vend = ctx.load(g.row_ptr, v + 1);
+        for (std::uint32_t j = vb; j < vend; ++j) {
+          const std::uint32_t w = ctx.load(g.col, j);
+          if (ctx.load(scratch, slot(ctx) + bit_word(w)) & bit_mask(w)) ++local;
+        }
+      }
+      flush_count(ctx, counter, local);
+    };
+    auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
+        const std::uint32_t v = ctx.load(g.col, i);
+        ctx.store(scratch, slot(ctx) + bit_word(v), 0u);
+      }
+    };
+
+    auto stats = simt::launch_items<simt::NoState>(spec, cfg, g.num_vertices, set_bit,
+                                                   probe, clear_bit);
+    r.add_launch("bisson_warp", stats);
+  } else {
+    // ---- one thread per vertex (sparse graphs) ----------------------------
+    // With < 4 neighbors on average a bitmap buys nothing; the published
+    // low-degree path degenerates to per-thread sequential intersection,
+    // which the paper likens to Polak ("uses one thread to process the
+    // computation around one edge").
+    simt::LaunchConfig cfg;
+    cfg.block = cfg_.block;
+    cfg.group_size = 1;
+    cfg.grid = pick_grid(spec, g.num_vertices, 1, cfg.block);
+
+    auto stats = simt::launch_items<simt::NoState>(
+        spec, cfg, g.num_vertices,
+        [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+          const std::uint32_t ub = ctx.load(g.row_ptr, u);
+          const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+          std::uint64_t local = 0;
+          for (std::uint32_t i = ub; i < ue; ++i) {
+            const std::uint32_t v = ctx.load(g.col, i);
+            std::uint32_t pa = i + 1;  // N+(u) ∩ N+(v); both sorted, w > v
+            std::uint32_t pb = ctx.load(g.row_ptr, v);
+            const std::uint32_t eb = ctx.load(g.row_ptr, v + 1);
+            while (pa < ue && pb < eb) {
+              const std::uint32_t a = ctx.load(g.col, pa);
+              const std::uint32_t b = ctx.load(g.col, pb);
+              if (a == b) {
+                ++local;
+                ++pa;
+                ++pb;
+              } else if (a < b) {
+                ++pa;
+              } else {
+                ++pb;
+              }
+            }
+          }
+          flush_count(ctx, counter, local);
+        });
+    r.add_launch("bisson_thread", stats);
+  }
+
+  r.triangles = counter.host_span()[0];
+  return r;
+}
+
+}  // namespace tcgpu::tc

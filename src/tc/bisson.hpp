@@ -1,0 +1,37 @@
+// Bisson & Fatica (TPDS 2017): vertex-centric, bitmap intersection.
+//
+// For each vertex u, a bitmap marks N+(u); every 2-hop neighbor then probes
+// the bitmap (§III-C, Figure 5). Granularity follows the paper's
+// average-degree switch: block per vertex (> 38), warp per vertex
+// (3.8 .. 38), single thread per vertex (< 3.8). In block mode the bitmap
+// lives in shared memory when V bits fit (paper's optimization); otherwise
+// a per-block global scratch bitmap is used. Only the bits of N+(u) are set
+// and cleared per vertex (clearing the whole V-bit map per vertex would be
+// quadratic — the published code does the same).
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class BissonCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;
+    double block_threshold = 38.0;  ///< avg degree above which: block/vertex
+    double warp_threshold = 3.8;    ///< avg degree above which: warp/vertex
+  };
+
+  BissonCounter() : cfg_{} {}
+  explicit BissonCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "Bisson"; }
+  AlgoTraits traits() const override { return {"vertex", "BitMap", "coarse", 2017}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

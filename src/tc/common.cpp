@@ -1,0 +1,16 @@
+#include "tc/common.hpp"
+
+#include <algorithm>
+
+namespace tcgpu::tc {
+
+std::uint32_t pick_grid(const simt::GpuSpec& spec, std::uint64_t items,
+                        std::uint32_t threads_per_item, std::uint32_t block) {
+  const std::uint64_t threads_needed = items * threads_per_item;
+  const std::uint64_t blocks_needed = (threads_needed + block - 1) / block;
+  const std::uint64_t lo = spec.sm_count;
+  const std::uint64_t hi = 4096;
+  return static_cast<std::uint32_t>(std::clamp(blocks_needed, lo, hi));
+}
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,103 @@
+// The TriangleCounter interface every algorithm implements, plus the
+// metered device-side primitives the kernels share.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simt/launch.hpp"
+#include "simt/profiler.hpp"
+#include "tc/device_graph.hpp"
+
+namespace tcgpu::tc {
+
+/// Result of running one algorithm on one graph: the exact triangle count
+/// plus combined and per-kernel simulator stats.
+struct AlgoResult {
+  std::uint64_t triangles = 0;
+  simt::KernelStats total;  ///< summed over all launches
+  std::vector<std::pair<std::string, simt::KernelStats>> launches;
+
+  void add_launch(std::string name, const simt::KernelStats& s) {
+    total += s;
+    launches.emplace_back(std::move(name), s);
+  }
+};
+
+/// Taxonomy metadata (Table I columns).
+struct AlgoTraits {
+  std::string iterator;      ///< "edge" | "vertex"
+  std::string intersection;  ///< "Merge" | "Bin-Search" | "Hash" | "BitMap"
+  std::string granularity;   ///< "fine" | "coarse"
+  int year = 0;
+};
+
+class TriangleCounter {
+ public:
+  virtual ~TriangleCounter() = default;
+  virtual std::string name() const = 0;
+  virtual AlgoTraits traits() const = 0;
+  /// Counts triangles of the oriented DAG already resident on `dev`.
+  virtual AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                           const DeviceGraph& g) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metered device-side primitives
+// ---------------------------------------------------------------------------
+
+/// Binary search for `key` in the sorted slice col[lo, hi). Every probe is a
+/// metered global load issued from this call site (all callers in one kernel
+/// align probe k with probe k across the warp, as the hardware would).
+/// Returns true iff found.
+inline bool device_binary_search(simt::ThreadCtx& ctx,
+                                 const simt::DeviceBuffer<std::uint32_t>& col,
+                                 std::uint32_t lo, std::uint32_t hi,
+                                 std::uint32_t key) {
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t v = ctx.load(col, mid);
+    if (v == key) return true;
+    if (v < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+/// Metered lower_bound: first index in col[lo, hi) with value > key
+/// (i.e. upper_bound). Used by GroupTC's u<v prefix-skip optimization.
+inline std::uint32_t device_upper_bound(simt::ThreadCtx& ctx,
+                                        const simt::DeviceBuffer<std::uint32_t>& col,
+                                        std::uint32_t lo, std::uint32_t hi,
+                                        std::uint32_t key) {
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t v = ctx.load(col, mid);
+    if (v <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Flushes a thread-local triangle tally to the global counter (one global
+/// atomic per thread that found anything, as the published kernels do).
+inline void flush_count(simt::ThreadCtx& ctx, simt::DeviceBuffer<std::uint64_t>& counter,
+                        std::uint64_t local) {
+  if (local != 0) ctx.atomic_add(counter, 0, local);
+}
+
+/// Grid size heuristic: enough blocks to cover the items once, bounded so
+/// per-launch bookkeeping stays sane; at least one wave per SM.
+std::uint32_t pick_grid(const simt::GpuSpec& spec, std::uint64_t items,
+                        std::uint32_t threads_per_item, std::uint32_t block);
+
+}  // namespace tcgpu::tc

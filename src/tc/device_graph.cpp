@@ -1,0 +1,31 @@
+#include "tc/device_graph.hpp"
+
+#include <algorithm>
+
+namespace tcgpu::tc {
+
+DeviceGraph DeviceGraph::upload(simt::Device& dev, const graph::Csr& dag) {
+  DeviceGraph g;
+  g.num_vertices = dag.num_vertices();
+  g.num_edges = dag.num_edges();
+
+  g.row_ptr = dev.alloc<std::uint32_t>(dag.row_ptr().size(), "row_ptr");
+  std::copy(dag.row_ptr().begin(), dag.row_ptr().end(), g.row_ptr.host_data());
+  g.col = dev.alloc<std::uint32_t>(dag.col().size(), "col");
+  std::copy(dag.col().begin(), dag.col().end(), g.col.host_data());
+
+  g.edge_u = dev.alloc<std::uint32_t>(g.num_edges, "edge_u");
+  g.edge_v = dev.alloc<std::uint32_t>(g.num_edges, "edge_v");
+  std::uint32_t e = 0;
+  for (graph::VertexId u = 0; u < g.num_vertices; ++u) {
+    g.max_out_degree = std::max(g.max_out_degree, dag.degree(u));
+    for (graph::VertexId v : dag.neighbors(u)) {
+      g.edge_u.host_data()[e] = u;
+      g.edge_v.host_data()[e] = v;
+      ++e;
+    }
+  }
+  return g;
+}
+
+}  // namespace tcgpu::tc

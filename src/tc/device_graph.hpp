@@ -1,0 +1,29 @@
+// Device-resident graph image shared by all triangle-counting kernels.
+//
+// Holds the oriented DAG as CSR (row_ptr/col) plus the explicit edge list
+// (edge_u/edge_v, in CSR order — so consecutive edges share their source
+// vertex, the locality GroupTC's chunking exploits). All arrays are 32-bit,
+// as in the published CUDA implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "simt/device.hpp"
+
+namespace tcgpu::tc {
+
+struct DeviceGraph {
+  simt::DeviceBuffer<std::uint32_t> row_ptr;  ///< size V+1
+  simt::DeviceBuffer<std::uint32_t> col;      ///< size E, sorted per row
+  simt::DeviceBuffer<std::uint32_t> edge_u;   ///< size E, CSR order
+  simt::DeviceBuffer<std::uint32_t> edge_v;   ///< size E
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_edges = 0;
+  std::uint32_t max_out_degree = 0;
+
+  /// Uploads an oriented DAG (u < v for every edge; see graph::orient).
+  static DeviceGraph upload(simt::Device& dev, const graph::Csr& dag);
+};
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,38 @@
+// Fox et al. (HPEC 2018): edge-centric, adaptive binning, binary search.
+//
+// Each edge's intersection workload is estimated as
+// min(d,d')*log2(max(d,d')) and the edge is placed into one of six bins of
+// exponentially increasing work; edges of bin n are processed by 2^n
+// threads (capped at a warp), so lanes of one warp see near-equal work
+// (§III-E, Figure 7). We run the Bin-Search variant — the configuration
+// the paper reports (§IV). Because lanes of a warp are mapped to different,
+// non-adjacent edges of a bin, Fox's loads scatter — the low memory-access
+// efficiency the profiling section calls out falls out of the trace.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class FoxCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;
+    std::uint32_t num_bins = 6;
+  };
+
+  FoxCounter() : cfg_{} {}
+  explicit FoxCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "Fox"; }
+  AlgoTraits traits() const override {
+    return {"edge", "Merge/Bin-Search", "fine", 2018};
+  }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,77 @@
+#include "tc/green.hpp"
+
+namespace tcgpu::tc {
+
+AlgoResult GreenCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                               const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "green_count");
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = cfg_.threads_per_edge;
+  cfg.grid = pick_grid(spec, g.num_edges, cfg.group_size, cfg.block);
+
+  const std::uint32_t team = cfg_.threads_per_edge;
+
+  auto stats = simt::launch_items<simt::NoState>(
+      spec, cfg, g.num_edges,
+      [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
+        const std::uint32_t u = ctx.load(g.edge_u, e);
+        const std::uint32_t v = ctx.load(g.edge_v, e);
+        const std::uint32_t ub = ctx.load(g.row_ptr, u);
+        const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+        const std::uint32_t vb = ctx.load(g.row_ptr, v);
+        const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+        const std::uint32_t la = ue - ub;
+        if (la == 0 || ve == vb) return;
+
+        // Partition A=N+(u) into `team` equal chunks; this lane merges its
+        // chunk against the matching window of B=N+(v), located by a
+        // metered binary search (the partitioning step of Figure 4).
+        const std::uint32_t t = ctx.group_lane();
+        const std::uint32_t chunk_lo = ub + static_cast<std::uint32_t>(
+                                                static_cast<std::uint64_t>(la) * t / team);
+        const std::uint32_t chunk_hi =
+            ub + static_cast<std::uint32_t>(static_cast<std::uint64_t>(la) * (t + 1) /
+                                            team);
+        if (chunk_lo >= chunk_hi) return;
+
+        const std::uint32_t first = ctx.load(g.col, chunk_lo);
+        // lower_bound(B, first)
+        std::uint32_t lo = vb, hi = ve;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (ctx.load(g.col, mid) < first) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+
+        std::uint64_t local = 0;
+        std::uint32_t pa = chunk_lo, pb = lo;
+        std::uint32_t a = first;
+        while (pa < chunk_hi && pb < ve) {
+          const std::uint32_t b = ctx.load(g.col, pb);
+          if (a == b) {
+            ++local;
+            ++pa;
+            ++pb;
+            if (pa < chunk_hi) a = ctx.load(g.col, pa);
+          } else if (a < b) {
+            ++pa;
+            if (pa < chunk_hi) a = ctx.load(g.col, pa);
+          } else {
+            ++pb;
+          }
+        }
+        flush_count(ctx, counter, local);
+      });
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("green_merge_path", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,34 @@
+// Green (IA^3 2014): edge-centric, fine-grained, parallel merge.
+//
+// A fixed team of threads (32 in the paper's best configuration, §IV)
+// cooperates on each edge: the source list is partitioned into equal chunks,
+// each lane binary-searches the matching window of the other list and merges
+// its pair of small lists (§III-B, Figure 4). The partitioning pays off on
+// big lists but — as the paper observes — wastes thread resources on the
+// many small-neighborhood edges of real graphs.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class GreenCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 512;            ///< paper's reported best blockSize
+    std::uint32_t threads_per_edge = 32;  ///< paper's reported best team size
+  };
+
+  GreenCounter() : cfg_{} {}
+  explicit GreenCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "Green"; }
+  AlgoTraits traits() const override { return {"edge", "Merge", "fine", 2014}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

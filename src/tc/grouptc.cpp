@@ -1,0 +1,192 @@
+#include "tc/grouptc.hpp"
+
+namespace tcgpu::tc {
+
+// Kernel structure (per chunk of n consecutive edges, block of n threads):
+//   describe:  one thread per edge computes the search-table / key-list
+//              descriptors (with the three §V optimizations) and seeds the
+//              key-length array.
+//   scan x10:  Hillis-Steele inclusive prefix sum over the key lengths
+//              (ping-pong buffers; 10 rounds cover blocks up to 1024).
+//              The prefix array turns "global key index" into (edge, offset)
+//              with one log2(n) shared-memory search — this is what keeps
+//              every thread's workload identical even when individual key
+//              lists are tiny, GroupTC's core claim.
+//   count:     threads stride the chunk's concatenated keys (coalesced for
+//              neighboring threads) and binary search each key in its
+//              edge's table.
+AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                 const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "grouptc_count");
+
+  const std::uint32_t n = cfg_.block;  // chunk size == block size
+  const std::uint64_t chunks = (static_cast<std::uint64_t>(g.num_edges) + n - 1) / n;
+
+  simt::LaunchConfig cfg;
+  cfg.block = n;
+  cfg.group_size = n;
+  cfg.grid = pick_grid(spec, chunks, n, n);
+
+  // Shared per-edge descriptors for the chunk (Figure 14's red boxes).
+  auto table_lo_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(0, n);
+  };
+  auto table_hi_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(1, n);
+  };
+  auto key_lo_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(2, n);
+  };
+  auto prefix_a = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(3, n);
+  };
+  auto prefix_b = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(4, n);
+  };
+
+  const bool prefix_skip = cfg_.prefix_skip;
+  const bool monotone = cfg_.monotone_offset;
+  const bool flip = cfg_.table_flip;
+  const std::uint32_t flip_ratio = cfg_.flip_ratio;
+
+  // Phase 1: one thread describes one edge of the chunk (coalesced edge_u /
+  // edge_v loads since the chunk is consecutive).
+  auto describe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t chunk) {
+    auto t_lo = table_lo_arr(ctx);
+    auto t_hi = table_hi_arr(ctx);
+    auto k_lo = key_lo_arr(ctx);
+    auto pa = prefix_a(ctx);
+    const std::uint32_t tid = ctx.thread_in_block();
+    const std::uint64_t e = chunk * n + tid;
+    std::uint32_t d_tlo = 0, d_thi = 0, d_klo = 0, d_klen = 0;
+    if (e < g.num_edges) {
+      const std::uint32_t u = ctx.load(g.edge_u, e);
+      const std::uint32_t v = ctx.load(g.edge_v, e);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t vb = ctx.load(g.row_ptr, v);
+      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+      // Optimization 1: only the suffix of N+(u) beyond v can match, since
+      // every key in N+(v) exceeds v (u < v ordering). Edges with an empty
+      // suffix need no search at all ("for the edge (0,8), no search is
+      // required").
+      const std::uint32_t a_lo =
+          prefix_skip ? device_upper_bound(ctx, g.col, ub, ue, v) : ub;
+      const std::uint32_t a_len = ue - a_lo;
+      const std::uint32_t b_len = ve - vb;
+      if (a_len != 0 && b_len != 0) {
+        // Optimization 3: table = u's suffix (shared across the chunk, so
+        // its sectors stay hot in cache) unless v's list is dramatically
+        // smaller.
+        const bool use_v_table =
+            flip && static_cast<std::uint64_t>(b_len) * flip_ratio < a_len;
+        if (use_v_table) {
+          d_tlo = vb;
+          d_thi = ve;
+          d_klo = a_lo;
+          d_klen = a_len;
+        } else {
+          d_tlo = a_lo;
+          d_thi = ue;
+          d_klo = vb;
+          d_klen = b_len;
+        }
+      }
+    }
+    ctx.shared_store(t_lo, tid, d_tlo);
+    ctx.shared_store(t_hi, tid, d_thi);
+    ctx.shared_store(k_lo, tid, d_klo);
+    ctx.shared_store(pa, tid, d_klen);
+  };
+
+  // Hillis-Steele scan round: reads one buffer, writes the other (the
+  // executor runs lanes sequentially, so in-place scanning would race).
+  auto scan_round = [&](std::uint32_t stride, bool from_a) {
+    return [&, stride, from_a](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+      auto src = from_a ? prefix_a(ctx) : prefix_b(ctx);
+      auto dst = from_a ? prefix_b(ctx) : prefix_a(ctx);
+      const std::uint32_t tid = ctx.thread_in_block();
+      std::uint32_t v = ctx.shared_load(src, tid);
+      if (stride < n && tid >= stride) {
+        v += ctx.shared_load(src, tid - stride);
+      }
+      ctx.shared_store(dst, tid, v);
+    };
+  };
+
+  // Phase 3: threads stride the chunk's concatenated key lists; the prefix
+  // array (in buffer A after the 10 ping-pong rounds) maps a key index to
+  // its edge.
+  auto count_phase = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+    auto t_lo = table_lo_arr(ctx);
+    auto t_hi = table_hi_arr(ctx);
+    auto k_lo = key_lo_arr(ctx);
+    auto prefix = prefix_a(ctx);
+
+    const std::uint32_t total = ctx.shared_load(prefix, n - 1);
+    std::uint64_t local = 0;
+    // Registers describing the edge the thread is currently inside; a
+    // thread's key indices ascend by n, so while they stay inside
+    // [cur_base, cur_limit) no shared lookup is needed at all.
+    std::uint32_t cur_base = 0, cur_limit = 0;
+    std::uint32_t cur_tlo = 0, cur_thi = 0, cur_klo = 0;
+    std::uint32_t resume = 0;  // optimization 2 state
+
+    for (std::uint32_t kidx = ctx.thread_in_block(); kidx < total; kidx += n) {
+      if (kidx >= cur_limit) {
+        // j = first edge whose inclusive prefix exceeds kidx.
+        std::uint32_t lo = 0, hi = n;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (ctx.shared_load(prefix, mid) > kidx) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        const std::uint32_t j = lo;
+        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1);
+        cur_limit = ctx.shared_load(prefix, j);
+        cur_tlo = ctx.shared_load(t_lo, j);
+        cur_thi = ctx.shared_load(t_hi, j);
+        cur_klo = ctx.shared_load(k_lo, j);
+        resume = cur_tlo;
+      }
+      const std::uint32_t koff = kidx - cur_base;
+      const std::uint32_t key = ctx.load(g.col, cur_klo + koff);
+      // Binary search; on exit `slo` is a safe resume point for the next
+      // (strictly larger) key of this edge (optimization 2).
+      std::uint32_t slo = monotone ? resume : cur_tlo;
+      std::uint32_t shi = cur_thi;
+      while (slo < shi) {
+        const std::uint32_t mid = slo + (shi - slo) / 2;
+        const std::uint32_t val = ctx.load(g.col, mid);
+        if (val == key) {
+          ++local;
+          slo = mid + 1;
+          break;
+        }
+        if (val < key) {
+          slo = mid + 1;
+        } else {
+          shi = mid;
+        }
+      }
+      if (monotone) resume = slo;
+    }
+    flush_count(ctx, counter, local);
+  };
+
+  auto stats = simt::launch_items<simt::NoState>(
+      spec, cfg, chunks, describe, scan_round(1, true), scan_round(2, false),
+      scan_round(4, true), scan_round(8, false), scan_round(16, true),
+      scan_round(32, false), scan_round(64, true), scan_round(128, false),
+      scan_round(256, true), scan_round(512, false), count_phase);
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("grouptc_chunk", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,50 @@
+// GroupTC (§V): the paper's proposed algorithm. Edge-centric, fine-grained,
+// binary search, with the *edge chunk* as the basic scheduling unit.
+//
+// A block of n threads owns n consecutive edges (consecutive in CSR order,
+// so they overwhelmingly share their source vertex u). Phase one caches the
+// per-edge search-table/key descriptors in shared memory; phase two walks
+// the chunk's concatenated key lists with stride n (Hu-style flattening, so
+// every thread gets near-identical work even when individual lists are
+// tiny — the failure mode that hurts TRUST on small graphs) and binary
+// searches each key in the edge's search table.
+//
+// The three optimizations of §V, all individually switchable (the
+// ablation bench sweeps them):
+//  1. u<v prefix skip  — keys live in N+(v), all > v, so only the suffix of
+//     N+(u) beyond v can match; edges whose suffix is empty are dropped
+//     outright ("for the edge (0,8), no search is required").
+//  2. Monotone search offset — a thread's successive keys for one edge
+//     ascend, so each search resumes from the previous hit position.
+//  3. Search-table flip — default to the shared vertex u (cache reuse
+//     across the chunk) unless v's list is more than flip_ratio times
+//     smaller than u's suffix.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class GroupTcCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;  ///< chunk size n == block size
+    bool prefix_skip = true;    ///< optimization 1
+    bool monotone_offset = true;///< optimization 2
+    bool table_flip = true;     ///< optimization 3
+    std::uint32_t flip_ratio = 4;
+  };
+
+  GroupTcCounter() : cfg_{} {}
+  explicit GroupTcCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "GroupTC"; }
+  AlgoTraits traits() const override { return {"edge", "Bin-Search", "fine", 2024}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

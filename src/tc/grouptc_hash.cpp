@@ -1,0 +1,227 @@
+#include "tc/grouptc_hash.hpp"
+
+namespace tcgpu::tc {
+namespace {
+
+constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;  // never a vertex id
+constexpr std::uint32_t kFallback = 0xFFFFFFFFu;
+
+std::uint32_t hash_mix(std::uint32_t x) { return x * 2654435761u; }
+
+std::uint32_t pow2_at_least(std::uint32_t x) {
+  std::uint32_t p = 2;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                     const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "grouptc_h_count");
+
+  const std::uint32_t n = cfg_.block;
+  const std::uint64_t chunks = (static_cast<std::uint64_t>(g.num_edges) + n - 1) / n;
+  const std::uint32_t pool_entries = cfg_.pool_entries;
+
+  simt::LaunchConfig cfg;
+  cfg.block = n;
+  cfg.group_size = n;
+  cfg.grid = pick_grid(spec, chunks, n, n);
+
+  auto table_lo_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(0, n);
+  };
+  auto table_hi_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(1, n);
+  };
+  auto key_lo_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(2, n);
+  };
+  auto prefix_a = [&](simt::ThreadCtx& ctx) {  // seeded with key lengths
+    return ctx.shared_array_tagged<std::uint32_t>(3, n);
+  };
+  auto prefix_b = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(8, n);
+  };
+  auto hash_off_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(4, n);
+  };
+  auto hash_cap_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(5, n);
+  };
+  auto pool_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(6, pool_entries);
+  };
+  auto cursor_arr = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(7, 1);
+  };
+
+  const bool prefix_skip = cfg_.prefix_skip;
+
+  // Phase 0: reset the pool cursor for this chunk.
+  auto reset = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+    if (ctx.thread_in_block() == 0) {
+      auto cursor = cursor_arr(ctx);
+      ctx.shared_store(cursor, 0, 0u);
+    }
+  };
+
+  // Phase 1: describe this thread's edge and reserve pool space.
+  auto describe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t chunk) {
+    auto t_lo = table_lo_arr(ctx);
+    auto t_hi = table_hi_arr(ctx);
+    auto k_lo = key_lo_arr(ctx);
+    auto k_len = prefix_a(ctx);
+    auto h_off = hash_off_arr(ctx);
+    auto h_cap = hash_cap_arr(ctx);
+    auto cursor = cursor_arr(ctx);
+    const std::uint32_t tid = ctx.thread_in_block();
+    const std::uint64_t e = chunk * n + tid;
+    std::uint32_t d_tlo = 0, d_thi = 0, d_klo = 0, d_klen = 0;
+    std::uint32_t d_off = kFallback, d_cap = 0;
+    if (e < g.num_edges) {
+      const std::uint32_t u = ctx.load(g.edge_u, e);
+      const std::uint32_t v = ctx.load(g.edge_v, e);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t vb = ctx.load(g.row_ptr, v);
+      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+      const std::uint32_t a_lo =
+          prefix_skip ? device_upper_bound(ctx, g.col, ub, ue, v) : ub;
+      const std::uint32_t a_len = ue - a_lo;
+      const std::uint32_t b_len = ve - vb;
+      if (a_len != 0 && b_len != 0) {
+        d_tlo = a_lo;
+        d_thi = ue;
+        d_klo = vb;
+        d_klen = b_len;
+        // Reserve 2x table size, power of two, from the shared pool; edges
+        // that do not fit fall back to binary search (§V's "larger hash
+        // table" concern, resolved by a bounded pool).
+        const std::uint32_t want = pow2_at_least(a_len * 2);
+        if (want <= pool_entries) {
+          const std::uint32_t off = ctx.shared_atomic_add(cursor, 0, want);
+          if (off + want <= pool_entries) {
+            d_off = off;
+            d_cap = want;
+          }
+        }
+      }
+    }
+    ctx.shared_store(t_lo, tid, d_tlo);
+    ctx.shared_store(t_hi, tid, d_thi);
+    ctx.shared_store(k_lo, tid, d_klo);
+    ctx.shared_store(k_len, tid, d_klen);
+    ctx.shared_store(h_off, tid, d_off);
+    ctx.shared_store(h_cap, tid, d_cap);
+  };
+
+  // Phase 2: each thread initializes and builds its edge's hash region.
+  auto build = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+    auto t_lo = table_lo_arr(ctx);
+    auto t_hi = table_hi_arr(ctx);
+    auto h_off = hash_off_arr(ctx);
+    auto h_cap = hash_cap_arr(ctx);
+    auto pool = pool_arr(ctx);
+    const std::uint32_t tid = ctx.thread_in_block();
+    const std::uint32_t off = ctx.shared_load(h_off, tid);
+    if (off == kFallback) return;
+    const std::uint32_t cap = ctx.shared_load(h_cap, tid);
+    for (std::uint32_t i = 0; i < cap; ++i) ctx.shared_store(pool, off + i, kEmpty);
+    const std::uint32_t lo = ctx.shared_load(t_lo, tid);
+    const std::uint32_t hi = ctx.shared_load(t_hi, tid);
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const std::uint32_t x = ctx.load(g.col, i);
+      ctx.compute(1);  // hash
+      std::uint32_t idx = hash_mix(x) & (cap - 1);
+      while (ctx.shared_load(pool, off + idx) != kEmpty) idx = (idx + 1) & (cap - 1);
+      ctx.shared_store(pool, off + idx, x);
+    }
+  };
+
+  // Hillis-Steele scan round over the key lengths (same scheme as GroupTC).
+  auto scan_round = [&](std::uint32_t stride, bool from_a) {
+    return [&, stride, from_a](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+      auto src = from_a ? prefix_a(ctx) : prefix_b(ctx);
+      auto dst = from_a ? prefix_b(ctx) : prefix_a(ctx);
+      const std::uint32_t tid = ctx.thread_in_block();
+      std::uint32_t v = ctx.shared_load(src, tid);
+      if (stride < n && tid >= stride) {
+        v += ctx.shared_load(src, tid - stride);
+      }
+      ctx.shared_store(dst, tid, v);
+    };
+  };
+
+  // Final phase: GroupTC's strided key iteration, probing hashes.
+  auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+    auto t_lo = table_lo_arr(ctx);
+    auto t_hi = table_hi_arr(ctx);
+    auto k_lo = key_lo_arr(ctx);
+    auto prefix = prefix_a(ctx);
+    auto h_off = hash_off_arr(ctx);
+    auto h_cap = hash_cap_arr(ctx);
+    auto pool = pool_arr(ctx);
+
+    const std::uint32_t total = ctx.shared_load(prefix, n - 1);
+    std::uint64_t local = 0;
+    std::uint32_t cur_base = 0, cur_limit = 0;
+    std::uint32_t cur_tlo = 0, cur_thi = 0, cur_klo = 0;
+    std::uint32_t cur_off = kFallback, cur_cap = 0;
+
+    for (std::uint32_t kidx = ctx.thread_in_block(); kidx < total; kidx += n) {
+      if (kidx >= cur_limit) {
+        std::uint32_t lo = 0, hi = n;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (ctx.shared_load(prefix, mid) > kidx) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        const std::uint32_t j = lo;
+        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1);
+        cur_limit = ctx.shared_load(prefix, j);
+        cur_tlo = ctx.shared_load(t_lo, j);
+        cur_thi = ctx.shared_load(t_hi, j);
+        cur_klo = ctx.shared_load(k_lo, j);
+        cur_off = ctx.shared_load(h_off, j);
+        cur_cap = ctx.shared_load(h_cap, j);
+      }
+      const std::uint32_t koff = kidx - cur_base;
+      const std::uint32_t key = ctx.load(g.col, cur_klo + koff);
+      if (cur_off != kFallback) {
+        ctx.compute(1);  // hash
+        std::uint32_t idx = hash_mix(key) & (cur_cap - 1);
+        while (true) {
+          const std::uint32_t val = ctx.shared_load(pool, cur_off + idx);
+          if (val == key) {
+            ++local;
+            break;
+          }
+          if (val == kEmpty) break;
+          idx = (idx + 1) & (cur_cap - 1);
+        }
+      } else if (device_binary_search(ctx, g.col, cur_tlo, cur_thi, key)) {
+        ++local;
+      }
+    }
+    flush_count(ctx, counter, local);
+  };
+
+  auto stats = simt::launch_items<simt::NoState>(
+      spec, cfg, chunks, reset, describe, build, scan_round(1, true),
+      scan_round(2, false), scan_round(4, true), scan_round(8, false),
+      scan_round(16, true), scan_round(32, false), scan_round(64, true),
+      scan_round(128, false), scan_round(256, true), scan_round(512, false),
+      probe);
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("grouptc_hash_chunk", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

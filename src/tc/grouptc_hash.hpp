@@ -1,0 +1,44 @@
+// GroupTC-H — the extension the paper's §VI sketches as future work:
+// "the primary factor contributing to GroupTC's slightly slower performance
+// on large datasets compared to TRUST is the slower search time of the
+// binary search when compared to a hash table lookup. In our upcoming
+// research, we will focus on developing an algorithm specifically designed
+// to address this bottleneck."
+//
+// GroupTC-H keeps GroupTC's edge-chunk scheduling (a block of n threads
+// owns n consecutive edges, keys iterated with the flattened stride) but
+// replaces the per-key binary search with probes into per-edge
+// open-addressing hash tables packed into a shared-memory pool. §V explains
+// why this needs care ("constructing a hash table for multiple edges means
+// many more distinct values ... a larger hash table and a careful design"):
+// the pool is finite, so each edge reserves 2x its table size rounded up to
+// a power of two, and edges that do not fit fall back to GroupTC's binary
+// search. Probes are O(1) shared-memory reads, which is exactly what beats
+// binary search's O(log d) global loads on large high-degree graphs.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class GroupTcHashCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;       ///< chunk size n == block size
+    std::uint32_t pool_entries = 8192;  ///< shared hash pool (words)
+    bool prefix_skip = true;         ///< GroupTC optimization 1 (kept)
+  };
+
+  GroupTcHashCounter() : cfg_{} {}
+  explicit GroupTcHashCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "GroupTC-H"; }
+  AlgoTraits traits() const override { return {"edge", "Hash", "fine", 2024}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,140 @@
+#include "tc/hindex.hpp"
+
+namespace tcgpu::tc {
+
+AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "hindex_count");
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = cfg_.block_per_edge ? cfg_.block : 32u;
+  cfg.grid = pick_grid(spec, g.num_edges, cfg.group_size, cfg.block);
+
+  const std::uint32_t buckets = cfg_.buckets;
+  const std::uint32_t slots = cfg_.shared_slots;
+  const std::uint32_t teams_per_block = cfg_.block_per_edge ? 1u : cfg.block / 32;
+  const std::uint32_t teams_total = cfg.grid * teams_per_block;
+  // Worst case the whole shorter list lands in one bucket and spills.
+  const std::uint32_t ovf_cap = std::max<std::uint32_t>(1, g.max_out_degree);
+  auto overflow = dev.alloc<std::uint32_t>(
+      static_cast<std::size_t>(teams_total) * ovf_cap, "hindex_overflow");
+
+  auto team_in_block = [teams_per_block](simt::ThreadCtx& ctx) -> std::uint32_t {
+    return teams_per_block == 1 ? 0u : ctx.warp_in_block();
+  };
+  auto team_lane = [teams_per_block](simt::ThreadCtx& ctx) -> std::uint32_t {
+    return teams_per_block == 1 ? ctx.thread_in_block() : ctx.group_lane();
+  };
+  const std::uint32_t team_size = cfg.group_size;
+
+  // Shared layout (per team slice): len[buckets], table[slots*buckets]
+  // in row-order — element s of all buckets is contiguous (§III-G) — and a
+  // one-word overflow cursor.
+  auto len_array = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(0, teams_per_block * buckets);
+  };
+  auto table_array = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(1,
+                                                  teams_per_block * slots * buckets);
+  };
+  auto ovf_cursor = [&](simt::ThreadCtx& ctx) {
+    return ctx.shared_array_tagged<std::uint32_t>(2, teams_per_block);
+  };
+
+  auto reset = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+    auto len = len_array(ctx);
+    auto ovf = ovf_cursor(ctx);
+    const std::uint32_t t = team_in_block(ctx);
+    for (std::uint32_t i = team_lane(ctx); i < buckets; i += team_size) {
+      ctx.shared_store(len, t * buckets + i, 0u);
+    }
+    if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u);
+  };
+
+  auto build = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
+    const std::uint32_t u = ctx.load(g.edge_u, e);
+    const std::uint32_t v = ctx.load(g.edge_v, e);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u);
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+    const std::uint32_t vb = ctx.load(g.row_ptr, v);
+    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+    // Shorter list builds the table (reduces collisions, §III-G).
+    const bool u_shorter = (ue - ub) <= (ve - vb);
+    const std::uint32_t lo = u_shorter ? ub : vb;
+    const std::uint32_t hi = u_shorter ? ue : ve;
+
+    auto len = len_array(ctx);
+    auto table = table_array(ctx);
+    auto ovf = ovf_cursor(ctx);
+    const std::uint32_t t = team_in_block(ctx);
+    const std::uint32_t team_global =
+        ctx.block_id() * teams_per_block + t;
+
+    for (std::uint32_t i = lo + team_lane(ctx); i < hi; i += team_size) {
+      const std::uint32_t x = ctx.load(g.col, i);
+      ctx.compute(1);  // hash
+      const std::uint32_t b = x % buckets;
+      const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u);
+      if (pos < slots) {
+        ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x);
+      } else {
+        const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u);
+        ctx.store(overflow, static_cast<std::size_t>(team_global) * ovf_cap + opos,
+                  x);
+      }
+    }
+  };
+
+  auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
+    const std::uint32_t u = ctx.load(g.edge_u, e);
+    const std::uint32_t v = ctx.load(g.edge_v, e);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u);
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+    const std::uint32_t vb = ctx.load(g.row_ptr, v);
+    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+    const bool u_shorter = (ue - ub) <= (ve - vb);
+    const std::uint32_t qlo = u_shorter ? vb : ub;  // longer list = queries
+    const std::uint32_t qhi = u_shorter ? ve : ue;
+
+    auto len = len_array(ctx);
+    auto table = table_array(ctx);
+    auto ovf = ovf_cursor(ctx);
+    const std::uint32_t t = team_in_block(ctx);
+    const std::uint32_t team_global =
+        ctx.block_id() * teams_per_block + t;
+
+    std::uint64_t local = 0;
+    for (std::uint32_t i = qlo + team_lane(ctx); i < qhi; i += team_size) {
+      const std::uint32_t key = ctx.load(g.col, i);
+      ctx.compute(1);  // hash
+      const std::uint32_t b = key % buckets;
+      const std::uint32_t blen = ctx.shared_load(len, t * buckets + b);
+      bool hit = false;
+      const std::uint32_t in_shared = std::min(blen, slots);
+      for (std::uint32_t s = 0; s < in_shared && !hit; ++s) {
+        hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b) == key;
+      }
+      if (!hit && blen > slots) {
+        // This bucket spilled; scan the team's overflow region linearly.
+        const std::uint32_t olen = ctx.shared_load(ovf, t);
+        for (std::uint32_t j = 0; j < olen && !hit; ++j) {
+          hit = ctx.load(overflow,
+                         static_cast<std::size_t>(team_global) * ovf_cap + j) == key;
+        }
+      }
+      if (hit) ++local;
+    }
+    flush_count(ctx, counter, local);
+  };
+
+  auto stats =
+      simt::launch_items<simt::NoState>(spec, cfg, g.num_edges, reset, build, probe);
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch(cfg_.block_per_edge ? "hindex_block" : "hindex_warp", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,91 @@
+#include "tc/hu.hpp"
+
+#include <algorithm>
+
+namespace tcgpu::tc {
+
+AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                            const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "hu_count");
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = cfg_.block;
+  cfg.grid = pick_grid(spec, g.num_vertices, cfg.block, cfg.block);
+
+  const std::uint32_t cache_cap = std::min<std::uint32_t>(
+      cfg_.cache_entries, spec.shared_mem_per_block / sizeof(std::uint32_t) - 64);
+
+  // Phase 1 — "Caching neighbors": stage min(d+(u), cache_cap) of N+(u).
+  auto stage = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    const std::uint32_t ub = ctx.load(g.row_ptr, u);
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+    const std::uint32_t staged = std::min(ue - ub, cache_cap);
+    auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
+    for (std::uint32_t i = ctx.thread_in_block(); i < staged; i += ctx.block_dim()) {
+      ctx.shared_store(cache, i, ctx.load(g.col, ub + i));
+    }
+  };
+
+  // Phase 2 — "Fine-grained search": Algorithm 1 of the paper.
+  auto search = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u);     // col[u]
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1); // col[u+1]
+    const std::uint32_t u_deg = ue - ub;
+    if (u_deg == 0) return;
+    const std::uint32_t staged = std::min(u_deg, cache_cap);
+
+    std::uint64_t tc = 0;
+    std::uint32_t v_offset = ctx.thread_in_block();  // Alg.1 line 2
+    std::uint32_t u_point = ub;                      // Alg.1 line 3
+    std::uint32_t v = ctx.load(g.col, u_point);      // Alg.1 line 5
+    std::uint32_t v_point = ctx.load(g.row_ptr, v);
+    std::uint32_t v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+
+    while (u_point < ue) {  // Alg.1 line 4
+      // Advance to the v whose 2-hop slice contains v_offset (lines 9-14).
+      while (u_point < ue && v_offset >= v_degree) {
+        v_offset -= v_degree;
+        ++u_point;
+        if (u_point >= ue) break;
+        v = ctx.load(g.col, u_point);
+        v_point = ctx.load(g.row_ptr, v);
+        v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+      }
+      if (u_point < ue) {  // lines 15-18
+        const std::uint32_t w = ctx.load(g.col, v_point + v_offset);
+        // binSearch(w, u): shared for the staged prefix, global beyond.
+        std::uint32_t lo = 0, hi = u_deg;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          const std::uint32_t val = mid < staged
+                                        ? ctx.shared_load(cache, mid)
+                                        : ctx.load(g.col, ub + mid);
+          if (val == w) {
+            ++tc;
+            break;
+          }
+          if (val < w) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+      }
+      v_offset += ctx.block_dim();  // Alg.1 line 19
+    }
+    ctx.compute(5);  // Alg.1 line 21: in-warp reduction of tc
+    flush_count(ctx, counter, tc);
+  };
+
+  auto stats =
+      simt::launch_items<simt::NoState>(spec, cfg, g.num_vertices, stage, search);
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("hu_fine_grained", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

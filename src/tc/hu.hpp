@@ -1,0 +1,36 @@
+// Hu, Guan & Zou (ICDEW 2019): vertex-centric, fine-grained, binary search.
+//
+// A block owns one vertex u: phase one stages as much of N+(u) as fits into
+// shared memory; phase two is the paper's Algorithm 1 verbatim — every
+// thread walks the *concatenated* 2-hop neighborhood of u with stride
+// blockDim (so neighboring threads touch neighboring addresses) and binary
+// searches each 2-hop neighbor in N+(u), hitting the shared-memory copy for
+// the staged prefix. The flattened iteration is what gives Hu its high warp
+// efficiency; the per-step pointer reloads are why it issues the most
+// global loads of the eight (§IV-A).
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class HuCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;
+    std::uint32_t cache_entries = 8192;  ///< 1-hop cache capacity (words)
+  };
+
+  HuCounter() : cfg_{} {}
+  explicit HuCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "Hu"; }
+  AlgoTraits traits() const override { return {"vertex", "Bin-Search", "fine", 2019}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

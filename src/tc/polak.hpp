@@ -1,0 +1,33 @@
+// Polak (IPDPSW 2016): edge-centric, coarse-grained, merge intersection.
+//
+// One thread owns one edge (u,v) and linearly merges the sorted oriented
+// neighbor lists of u and v (§III-A, Figure 3). The total work per thread is
+// d+(u)+d+(v); the paper credits Polak's small total memory-access count for
+// its dominance on small datasets, and its per-thread workload imbalance and
+// uncoalesced sequential reads for its fade on large ones — both of which
+// the simulator reproduces from the access trace.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class PolakCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;
+  };
+
+  PolakCounter() : cfg_{} {}
+  explicit PolakCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "Polak"; }
+  AlgoTraits traits() const override { return {"edge", "Merge", "coarse", 2016}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

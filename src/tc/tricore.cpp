@@ -1,0 +1,116 @@
+#include "tc/tricore.hpp"
+
+namespace tcgpu::tc {
+namespace {
+
+/// Array index of 1-based heap node `k` of an implicit binary-search tree
+/// over [0, len): walk the bits of k below its MSB (0 = left, 1 = right).
+std::uint32_t heap_node_index(std::uint32_t k, std::uint32_t len) {
+  std::uint32_t lo = 0, hi = len;
+  std::uint32_t msb = 31 - static_cast<std::uint32_t>(__builtin_clz(k));
+  for (std::uint32_t b = msb; b > 0; --b) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if ((k >> (b - 1)) & 1u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    if (lo >= hi) return lo < len ? lo : len - 1;  // node below the leaves
+  }
+  return lo + (hi - lo) / 2;
+}
+
+struct EdgeState {
+  std::uint32_t table_lo = 0, table_len = 0;
+  std::uint32_t key_lo = 0, key_len = 0;
+  std::uint32_t cached_nodes = 0;
+};
+
+}  // namespace
+
+AlgoResult TriCoreCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                 const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "tricore_count");
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = 32;
+  cfg.grid = pick_grid(spec, g.num_edges, 32, cfg.block);
+
+  const std::uint32_t nodes = (1u << cfg_.cached_levels) - 1;  // <= 31
+  const std::uint32_t warps_per_block = cfg.block / 32;
+
+  auto stage = [&](simt::ThreadCtx& ctx, EdgeState& st, std::uint64_t e) {
+    const std::uint32_t u = ctx.load(g.edge_u, e);
+    const std::uint32_t v = ctx.load(g.edge_v, e);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u);
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+    const std::uint32_t vb = ctx.load(g.row_ptr, v);
+    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+    // Longer list becomes the search tree (§III-D).
+    if (ue - ub >= ve - vb) {
+      st.table_lo = ub;
+      st.table_len = ue - ub;
+      st.key_lo = vb;
+      st.key_len = ve - vb;
+    } else {
+      st.table_lo = vb;
+      st.table_len = ve - vb;
+      st.key_lo = ub;
+      st.key_len = ue - ub;
+    }
+    st.cached_nodes = 0;
+    if (st.table_len >= cfg_.min_table_for_cache && st.key_len > 0) {
+      st.cached_nodes = std::min(nodes, st.table_len);
+      auto cache =
+          ctx.shared_array_tagged<std::uint32_t>(0, warps_per_block * nodes);
+      const std::uint32_t k = ctx.group_lane() + 1;  // heap ids 1..32
+      if (k <= st.cached_nodes) {
+        const std::uint32_t idx = heap_node_index(k, st.table_len);
+        const std::uint32_t val = ctx.load(g.col, st.table_lo + idx);
+        ctx.shared_store(cache, ctx.warp_in_block() * nodes + (k - 1), val);
+      }
+    }
+  };
+
+  auto search = [&](simt::ThreadCtx& ctx, EdgeState& st, std::uint64_t) {
+    if (st.key_len == 0 || st.table_len == 0) return;
+    auto cache = ctx.shared_array_tagged<std::uint32_t>(0, warps_per_block * nodes);
+    std::uint64_t local = 0;
+    for (std::uint32_t i = ctx.group_lane(); i < st.key_len; i += 32) {
+      const std::uint32_t key = ctx.load(g.col, st.key_lo + i);  // coalesced
+      std::uint32_t lo = 0, hi = st.table_len;
+      std::uint64_t k = 1;  // heap id; 64-bit so deep walks cannot wrap
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        std::uint32_t val;
+        if (k <= st.cached_nodes) {
+          val = ctx.shared_load(cache, ctx.warp_in_block() * nodes + (k - 1));
+        } else {
+          val = ctx.load(g.col, st.table_lo + mid);
+        }
+        if (val == key) {
+          ++local;
+          break;
+        }
+        if (val < key) {
+          lo = mid + 1;
+          k = 2 * k + 1;
+        } else {
+          hi = mid;
+          k = 2 * k;
+        }
+      }
+    }
+    flush_count(ctx, counter, local);
+  };
+
+  auto stats = simt::launch_items<EdgeState>(spec, cfg, g.num_edges, stage, search);
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("tricore_binsearch", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,36 @@
+// TriCore (SC 2018): edge-centric, fine-grained, binary search.
+//
+// A warp owns one edge: the longer of the two oriented neighbor lists is
+// the (implicit) binary search tree, the shorter list supplies the keys
+// (§III-D, Figure 6). Lanes stride over the keys — adjacent lanes read
+// adjacent key addresses, giving coalesced loads — and each runs a binary
+// search. The top levels of the search tree are staged into shared memory
+// by a cooperative phase, so the first probes of every search hit shared
+// instead of global memory (the paper's shared-memory optimization).
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class TriCoreCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;
+    std::uint32_t cached_levels = 5;  ///< top tree levels in shared (2^L - 1 <= 31 nodes)
+    std::uint32_t min_table_for_cache = 32;  ///< skip staging for tiny tables
+  };
+
+  TriCoreCounter() : cfg_{} {}
+  explicit TriCoreCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "TriCore"; }
+  AlgoTraits traits() const override { return {"edge", "Bin-Search", "fine", 2018}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

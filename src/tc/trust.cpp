@@ -1,0 +1,191 @@
+#include "tc/trust.hpp"
+
+#include <vector>
+
+namespace tcgpu::tc {
+namespace {
+
+struct TeamShape {
+  std::uint32_t buckets;
+  std::uint32_t slots;
+  std::uint32_t teams_per_block;
+  std::uint32_t team_size;
+};
+
+}  // namespace
+
+AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                               const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "trust_count");
+  AlgoResult r;
+
+  // Degree-split classification (host preprocessing, as in the original).
+  std::vector<std::uint32_t> big, mid;
+  {
+    const auto* rp = g.row_ptr.host_data();
+    for (std::uint32_t u = 0; u < g.num_vertices; ++u) {
+      const std::uint32_t d = rp[u + 1] - rp[u];
+      if (d < 2) continue;  // cannot pivot a triangle
+      if (d > cfg_.block_threshold) {
+        big.push_back(u);
+      } else {
+        mid.push_back(u);
+      }
+    }
+  }
+
+  auto run_kernel = [&](const std::vector<std::uint32_t>& vertices,
+                        const TeamShape& shape, simt::LaunchConfig cfg,
+                        const char* kernel_name) {
+    if (vertices.empty()) return;
+    auto vlist = dev.alloc<std::uint32_t>(vertices.size(), "trust_vertices");
+    std::copy(vertices.begin(), vertices.end(), vlist.host_data());
+
+    const std::uint32_t teams_total = cfg.grid * shape.teams_per_block;
+    const std::uint32_t ovf_cap = std::max<std::uint32_t>(1, g.max_out_degree);
+    auto overflow = dev.alloc<std::uint32_t>(
+        static_cast<std::size_t>(teams_total) * ovf_cap, "trust_overflow");
+
+    const std::uint32_t buckets = shape.buckets;
+    const std::uint32_t slots = shape.slots;
+    const std::uint32_t tpb = shape.teams_per_block;
+    const std::uint32_t team_size = shape.team_size;
+
+    auto len_array = [&](simt::ThreadCtx& ctx) {
+      return ctx.shared_array_tagged<std::uint32_t>(0, tpb * buckets);
+    };
+    auto table_array = [&](simt::ThreadCtx& ctx) {
+      return ctx.shared_array_tagged<std::uint32_t>(1, tpb * slots * buckets);
+    };
+    auto ovf_cursor = [&](simt::ThreadCtx& ctx) {
+      return ctx.shared_array_tagged<std::uint32_t>(2, tpb);
+    };
+    auto team_in_block = [tpb](simt::ThreadCtx& ctx) -> std::uint32_t {
+      return tpb == 1 ? 0u : ctx.warp_in_block();
+    };
+    auto team_lane = [tpb](simt::ThreadCtx& ctx) -> std::uint32_t {
+      return tpb == 1 ? ctx.thread_in_block() : ctx.group_lane();
+    };
+
+    auto reset = [=](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) mutable {
+      auto len = len_array(ctx);
+      auto ovf = ovf_cursor(ctx);
+      const std::uint32_t t = team_in_block(ctx);
+      for (std::uint32_t i = team_lane(ctx); i < buckets; i += team_size) {
+        ctx.shared_store(len, t * buckets + i, 0u);
+      }
+      if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u);
+    };
+
+    auto build = [=](simt::ThreadCtx& ctx, simt::NoState&,
+                     std::uint64_t item) mutable {
+      const std::uint32_t u = ctx.load(vlist, item);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      auto len = len_array(ctx);
+      auto table = table_array(ctx);
+      auto ovf = ovf_cursor(ctx);
+      const std::uint32_t t = team_in_block(ctx);
+      const std::uint32_t team_global = ctx.block_id() * tpb + t;
+      for (std::uint32_t i = ub + team_lane(ctx); i < ue; i += team_size) {
+        const std::uint32_t x = ctx.load(g.col, i);
+        ctx.compute(1);  // hash
+        const std::uint32_t b = x % buckets;
+        const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u);
+        if (pos < slots) {
+          ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x);
+        } else {
+          const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u);
+          ctx.store(overflow,
+                    static_cast<std::size_t>(team_global) * ovf_cap + opos, x);
+        }
+      }
+    };
+
+    auto probe = [=, &counter](simt::ThreadCtx& ctx, simt::NoState&,
+                               std::uint64_t item) mutable {
+      const std::uint32_t u = ctx.load(vlist, item);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u);
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      if (ub >= ue) return;
+      auto len = len_array(ctx);
+      auto table = table_array(ctx);
+      auto ovf = ovf_cursor(ctx);
+      const std::uint32_t t = team_in_block(ctx);
+      const std::uint32_t team_global = ctx.block_id() * tpb + t;
+
+      // Flattened 2-hop iteration with stride team_size (Hu-style; §III-H:
+      // "uses all 2-hop neighbors as queries to find matches in the 1-hop
+      // list").
+      std::uint64_t local = 0;
+      std::uint32_t v_offset = team_lane(ctx);
+      std::uint32_t u_point = ub;
+      std::uint32_t v = ctx.load(g.col, u_point);
+      std::uint32_t v_point = ctx.load(g.row_ptr, v);
+      std::uint32_t v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+      while (u_point < ue) {
+        while (u_point < ue && v_offset >= v_degree) {
+          v_offset -= v_degree;
+          ++u_point;
+          if (u_point >= ue) break;
+          v = ctx.load(g.col, u_point);
+          v_point = ctx.load(g.row_ptr, v);
+          v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+        }
+        if (u_point < ue) {
+          const std::uint32_t w = ctx.load(g.col, v_point + v_offset);
+          ctx.compute(1);  // hash
+          const std::uint32_t b = w % buckets;
+          const std::uint32_t blen = ctx.shared_load(len, t * buckets + b);
+          bool hit = false;
+          const std::uint32_t in_shared = std::min(blen, slots);
+          for (std::uint32_t s = 0; s < in_shared && !hit; ++s) {
+            hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b) == w;
+          }
+          if (!hit && blen > slots) {
+            const std::uint32_t olen = ctx.shared_load(ovf, t);
+            for (std::uint32_t j = 0; j < olen && !hit; ++j) {
+              hit = ctx.load(overflow,
+                             static_cast<std::size_t>(team_global) * ovf_cap + j) ==
+                    w;
+            }
+          }
+          if (hit) ++local;
+        }
+        v_offset += team_size;
+      }
+      flush_count(ctx, counter, local);
+    };
+
+    auto stats =
+        simt::launch_items<simt::NoState>(spec, cfg, vertices.size(), reset, build,
+                                          probe);
+    r.add_launch(kernel_name, stats);
+  };
+
+  // Block kernel: high-degree vertices, 1024 threads / 1024 buckets.
+  {
+    const std::uint32_t bdim = std::min(cfg_.block_dim, spec.max_threads_per_block);
+    simt::LaunchConfig cfg;
+    cfg.block = bdim;
+    cfg.group_size = bdim;
+    cfg.grid = std::min<std::uint32_t>(pick_grid(spec, big.size(), bdim, bdim),
+                                       2 * spec.sm_count);
+    run_kernel(big, TeamShape{cfg_.block_buckets, cfg_.block_slots, 1, bdim}, cfg,
+               "trust_block");
+  }
+  // Warp kernel: degree 2..100 vertices, 32 threads / 32 buckets.
+  {
+    simt::LaunchConfig cfg;
+    cfg.block = cfg_.warp_kernel_block;
+    cfg.group_size = 32;
+    cfg.grid = pick_grid(spec, mid.size(), 32, cfg.block);
+    run_kernel(mid, TeamShape{cfg_.warp_buckets, cfg_.warp_slots, cfg.block / 32, 32},
+               cfg, "trust_warp");
+  }
+
+  r.triangles = counter.host_span()[0];
+  return r;
+}
+
+}  // namespace tcgpu::tc

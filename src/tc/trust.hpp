@@ -1,0 +1,41 @@
+// TRUST (TPDS 2021): vertex-centric, fine-grained, hash intersection.
+//
+// The study's overall winner on medium-to-large graphs. TRUST marries Hu's
+// flattened 2-hop iteration with H-INDEX's hash probing (§III-H,
+// Figure 10), and balances work with a degree-split heuristic:
+//   d+(u) > 100          -> one 1024-thread block, 1024-bucket hash table
+//   2 <= d+(u) <= 100    -> one 32-thread warp, 32-bucket hash table
+//   d+(u) < 2            -> skipped (cannot pivot a triangle)
+// Hash tables live in shared memory (len rows + element rows, row-order),
+// with per-team global overflow for pathological buckets.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class TrustCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block_threshold = 100;  ///< out-degree above which: block kernel
+    std::uint32_t block_dim = 1024;       ///< paper: fixed 1024-thread blocks
+    std::uint32_t block_buckets = 1024;   ///< paper: 1024 buckets
+    std::uint32_t warp_buckets = 32;      ///< paper: 32 buckets
+    std::uint32_t block_slots = 8;        ///< shared element rows (block kernel)
+    std::uint32_t warp_slots = 4;         ///< shared element rows (warp kernel)
+    std::uint32_t warp_kernel_block = 256;
+  };
+
+  TrustCounter() : cfg_{} {}
+  explicit TrustCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "TRUST"; }
+  AlgoTraits traits() const override { return {"vertex", "Hash", "fine", 2021}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

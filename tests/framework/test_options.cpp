@@ -1,0 +1,81 @@
+#include "framework/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace tcgpu::framework {
+namespace {
+
+BenchOptions parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::string prog = "bench";
+  argv.push_back(prog.data());
+  for (auto& a : args) argv.push_back(a.data());
+  return BenchOptions::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+class OptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("TCGPU_EDGE_CAP");
+    ::unsetenv("TCGPU_SEED");
+  }
+};
+
+TEST_F(OptionsTest, Defaults) {
+  const auto opt = parse({});
+  EXPECT_EQ(opt.max_edges, 100'000u);
+  EXPECT_EQ(opt.seed, 42u);
+  EXPECT_FALSE(opt.csv);
+  EXPECT_EQ(opt.gpu, "v100");
+  EXPECT_TRUE(opt.datasets.empty());
+}
+
+TEST_F(OptionsTest, ParsesEveryFlag) {
+  const auto opt = parse({"--max-edges=1234", "--seed=9", "--csv",
+                          "--gpu=rtx4090", "--datasets=As-Caida,Wiki-Talk"});
+  EXPECT_EQ(opt.max_edges, 1234u);
+  EXPECT_EQ(opt.seed, 9u);
+  EXPECT_TRUE(opt.csv);
+  EXPECT_EQ(opt.gpu, "rtx4090");
+  ASSERT_EQ(opt.datasets.size(), 2u);
+  EXPECT_EQ(opt.datasets[0], "As-Caida");
+  EXPECT_EQ(opt.datasets[1], "Wiki-Talk");
+}
+
+TEST_F(OptionsTest, FullDisablesCap) {
+  EXPECT_EQ(parse({"--full"}).max_edges, 0u);
+}
+
+TEST_F(OptionsTest, EnvironmentFallbacks) {
+  ::setenv("TCGPU_EDGE_CAP", "777", 1);
+  ::setenv("TCGPU_SEED", "5", 1);
+  const auto opt = parse({});
+  EXPECT_EQ(opt.max_edges, 777u);
+  EXPECT_EQ(opt.seed, 5u);
+  // Explicit flags beat the environment.
+  EXPECT_EQ(parse({"--max-edges=11"}).max_edges, 11u);
+  ::unsetenv("TCGPU_EDGE_CAP");
+  ::unsetenv("TCGPU_SEED");
+}
+
+TEST_F(OptionsTest, UnknownFlagFailsLoudly) {
+  EXPECT_THROW(parse({"--max-edgez=5"}), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, BadNumbersFailLoudly) {
+  EXPECT_THROW(parse({"--max-edges=abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seed=1x"}), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, BadGpuFailsLoudly) {
+  EXPECT_THROW(parse({"--gpu=tpu"}), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, GoogleBenchmarkFlagsPassThrough) {
+  EXPECT_NO_THROW(parse({"--benchmark_filter=BM_Merge"}));
+}
+
+}  // namespace
+}  // namespace tcgpu::framework

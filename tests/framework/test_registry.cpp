@@ -1,0 +1,67 @@
+#include "framework/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcgpu::framework {
+namespace {
+
+TEST(Registry, HasAllNineAlgorithms) {
+  const auto& all = all_algorithms();
+  ASSERT_EQ(all.size(), 9u);
+  // Table I order (publication year), GroupTC appended.
+  EXPECT_EQ(all.front().name, "Green");
+  EXPECT_EQ(all[7].name, "TRUST");
+  EXPECT_EQ(all.back().name, "GroupTC");
+}
+
+TEST(Registry, FactoriesProduceWorkingCounters) {
+  for (const auto& e : all_algorithms()) {
+    const auto algo = e.make();
+    ASSERT_NE(algo, nullptr);
+    EXPECT_EQ(algo->name(), e.name);
+  }
+}
+
+TEST(Registry, TraitsMatchTableOne) {
+  const auto check = [](const std::string& name, const std::string& iterator,
+                        const std::string& intersection,
+                        const std::string& granularity, int year) {
+    const auto t = make_algorithm(name)->traits();
+    EXPECT_EQ(t.iterator, iterator) << name;
+    EXPECT_EQ(t.intersection, intersection) << name;
+    EXPECT_EQ(t.granularity, granularity) << name;
+    EXPECT_EQ(t.year, year) << name;
+  };
+  check("Green", "edge", "Merge", "fine", 2014);
+  check("Polak", "edge", "Merge", "coarse", 2016);
+  check("Bisson", "vertex", "BitMap", "coarse", 2017);
+  check("TriCore", "edge", "Bin-Search", "fine", 2018);
+  check("Fox", "edge", "Merge/Bin-Search", "fine", 2018);
+  check("Hu", "vertex", "Bin-Search", "fine", 2019);
+  check("H-INDEX", "edge", "Hash", "fine", 2019);
+  check("TRUST", "vertex", "Hash", "fine", 2021);
+  check("GroupTC", "edge", "Bin-Search", "fine", 2024);
+}
+
+TEST(Registry, HeadlineTrioForFigure15) {
+  const auto& trio = headline_algorithms();
+  ASSERT_EQ(trio.size(), 3u);
+  EXPECT_EQ(trio[0].name, "Polak");
+  EXPECT_EQ(trio[1].name, "TRUST");
+  EXPECT_EQ(trio[2].name, "GroupTC");
+}
+
+TEST(Registry, ExtendedSetAppendsGroupTcHash) {
+  const auto& ext = extended_algorithms();
+  ASSERT_EQ(ext.size(), all_algorithms().size() + 1);
+  EXPECT_EQ(ext.back().name, "GroupTC-H");
+  const auto algo = make_algorithm("GroupTC-H");
+  EXPECT_EQ(algo->traits().intersection, "Hash");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_algorithm("cuGraph"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tcgpu::framework

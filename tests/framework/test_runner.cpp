@@ -1,0 +1,50 @@
+#include "framework/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "framework/registry.hpp"
+#include "gen/er.hpp"
+
+namespace tcgpu::framework {
+namespace {
+
+TEST(Runner, PrepareGraphCleansOrientsAndCounts) {
+  graph::Coo raw;
+  raw.num_vertices = 6;  // one triangle + junk to clean
+  raw.edges = {{0, 1}, {1, 2}, {2, 0}, {0, 0}, {1, 0}, {5, 5}};
+  const auto pg = prepare_graph("t", raw);
+  EXPECT_EQ(pg.name, "t");
+  EXPECT_EQ(pg.stats.num_vertices, 3u);
+  EXPECT_EQ(pg.stats.num_undirected_edges, 3u);
+  EXPECT_EQ(pg.reference_triangles, 1u);
+  for (graph::VertexId u = 0; u < pg.dag.num_vertices(); ++u) {
+    for (const graph::VertexId v : pg.dag.neighbors(u)) EXPECT_LT(u, v);
+  }
+}
+
+TEST(Runner, PrepareDatasetAppliesEdgeCap) {
+  const auto& ds = gen::dataset_by_name("Com-Orkut");
+  const auto pg = prepare_dataset(ds, 20'000, 7);
+  EXPECT_LE(pg.stats.num_undirected_edges, 22'000u);
+  EXPECT_GT(pg.stats.num_undirected_edges, 15'000u);
+}
+
+TEST(Runner, RunAlgorithmValidatesAgainstReference) {
+  const auto pg = prepare_graph("er", gen::generate_er(500, 3000, 3));
+  const auto algo = make_algorithm("Polak");
+  const auto out = run_algorithm(*algo, pg, simt::GpuSpec::v100());
+  EXPECT_TRUE(out.valid);
+  EXPECT_EQ(out.result.triangles, pg.reference_triangles);
+  EXPECT_EQ(out.algorithm, "Polak");
+  EXPECT_EQ(out.dataset, "er");
+  EXPECT_GT(out.host_seconds, 0.0);
+}
+
+TEST(Runner, SpecForKnowsBothCards) {
+  EXPECT_EQ(spec_for("v100").name, "Tesla V100");
+  EXPECT_EQ(spec_for("rtx4090").name, "RTX 4090");
+  EXPECT_THROW(spec_for("h100"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcgpu::framework

@@ -1,0 +1,50 @@
+#include "framework/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcgpu::framework {
+namespace {
+
+TEST(ResultTable, RejectsWrongWidthRows) {
+  ResultTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"x", "y"}));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(ResultTable, CsvOutput) {
+  ResultTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\nalpha,1\nbeta,2\n");
+}
+
+TEST(ResultTable, AlignedOutputPadsColumns) {
+  ResultTable t({"n", "value"});
+  t.add_row({"longest-name", "7"});
+  std::ostringstream os;
+  t.print_aligned(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("longest-name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);  // header rule
+}
+
+TEST(ResultTable, FmtControlsPrecision) {
+  EXPECT_EQ(ResultTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(ResultTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(ResultTable::fmt(0.5, 4), "0.5000");
+}
+
+TEST(ResultTable, RowAccess) {
+  ResultTable t({"a"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.row(0)[0], "v");
+}
+
+}  // namespace
+}  // namespace tcgpu::framework

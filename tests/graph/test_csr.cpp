@@ -1,0 +1,61 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcgpu::graph {
+namespace {
+
+Csr triangle_csr() {
+  // 0->{1,2}, 1->{2}, 2->{}
+  return Csr({0, 2, 3, 3}, {1, 2, 2});
+}
+
+TEST(Csr, EmptyGraphHasZeroVerticesAndEdges) {
+  Csr g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Csr, NeighborsAndDegrees) {
+  const Csr g = triangle_csr();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 0u);
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(Csr, HasEdgeBinarySearches) {
+  const Csr g = triangle_csr();
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(2, 0));
+}
+
+TEST(Csr, RejectsEmptyRowPtr) {
+  EXPECT_THROW(Csr({}, {}), std::invalid_argument);
+}
+
+TEST(Csr, RejectsNonZeroFirstOffset) {
+  EXPECT_THROW(Csr({1, 2}, {0, 0}), std::invalid_argument);
+}
+
+TEST(Csr, RejectsDecreasingRowPtr) {
+  EXPECT_THROW(Csr({0, 2, 1}, {0, 1}), std::invalid_argument);
+}
+
+TEST(Csr, RejectsRowPtrColMismatch) {
+  EXPECT_THROW(Csr({0, 2}, {0}), std::invalid_argument);
+}
+
+TEST(Csr, EqualityIsStructural) {
+  EXPECT_EQ(triangle_csr(), triangle_csr());
+  EXPECT_NE(triangle_csr(), Csr({0, 1, 3, 3}, {1, 0, 2}));
+}
+
+}  // namespace
+}  // namespace tcgpu::graph

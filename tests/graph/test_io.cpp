@@ -1,0 +1,116 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gen/er.hpp"
+#include "graph/builder.hpp"
+
+namespace tcgpu::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tcgpu_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static Coo sample() { return gen::generate_er(200, 800, 5); }
+
+  static void expect_same_edges(const Coo& a, const Coo& b) {
+    EXPECT_EQ(a.num_vertices, b.num_vertices);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    EXPECT_EQ(a.edges, b.edges);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextEdgeListRoundTrip) {
+  const Coo g = sample();
+  write_text_edge_list(path("g.txt"), g);
+  expect_same_edges(g, read_text_edge_list(path("g.txt")));
+}
+
+TEST_F(IoTest, TextReaderSkipsCommentsAndBlankLines) {
+  std::ofstream(path("c.txt")) << "# comment\n\n% another\n0 1\n1 2\n";
+  const Coo g = read_text_edge_list(path("c.txt"));
+  EXPECT_EQ(g.edges.size(), 2u);
+  EXPECT_EQ(g.num_vertices, 3u);
+}
+
+TEST_F(IoTest, TextReaderRejectsMalformedLine) {
+  std::ofstream(path("bad.txt")) << "0 1\nnot an edge\n";
+  EXPECT_THROW(read_text_edge_list(path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, TextReaderRejectsHugeIds) {
+  std::ofstream(path("huge.txt")) << "0 8589934592\n";  // 2^33
+  EXPECT_THROW(read_text_edge_list(path("huge.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_text_edge_list(path("nope.txt")), std::runtime_error);
+  EXPECT_THROW(read_binary_edge_list(path("nope.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryEdgeListRoundTrip) {
+  const Coo g = sample();
+  write_binary_edge_list(path("g.bin"), g);
+  expect_same_edges(g, read_binary_edge_list(path("g.bin")));
+}
+
+TEST_F(IoTest, BinaryEdgeListRejectsBadMagic) {
+  std::ofstream(path("bad.bin"), std::ios::binary) << "JUNKJUNKJUNKJUNK";
+  EXPECT_THROW(read_binary_edge_list(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryEdgeListRejectsTruncation) {
+  const Coo g = sample();
+  write_binary_edge_list(path("g.bin"), g);
+  std::filesystem::resize_file(path("g.bin"), 24);
+  EXPECT_THROW(read_binary_edge_list(path("g.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryCsrRoundTrip) {
+  const Csr g = build_undirected_csr(clean_edges(sample()));
+  write_binary_csr(path("g.csr"), g);
+  EXPECT_EQ(g, read_binary_csr(path("g.csr")));
+}
+
+TEST_F(IoTest, MatrixMarketRoundTrip) {
+  const Coo g = sample();
+  write_matrix_market(path("g.mtx"), g);
+  expect_same_edges(g, read_matrix_market(path("g.mtx")));
+}
+
+TEST_F(IoTest, MatrixMarketRejectsMissingBanner) {
+  std::ofstream(path("bad.mtx")) << "3 3 1\n1 2\n";
+  EXPECT_THROW(read_matrix_market(path("bad.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsZeroBasedEntries) {
+  std::ofstream(path("zero.mtx"))
+      << "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n0 2\n";
+  EXPECT_THROW(read_matrix_market(path("zero.mtx")), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyGraphRoundTripsEverywhere) {
+  const Coo g{};
+  write_text_edge_list(path("e.txt"), g);
+  EXPECT_EQ(read_text_edge_list(path("e.txt")).edges.size(), 0u);
+  write_binary_edge_list(path("e.bin"), g);
+  EXPECT_EQ(read_binary_edge_list(path("e.bin")).edges.size(), 0u);
+  write_matrix_market(path("e.mtx"), g);
+  EXPECT_EQ(read_matrix_market(path("e.mtx")).edges.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tcgpu::graph

@@ -1,0 +1,165 @@
+// Pins the memory-model math: requests, transactions, sector dedup, cache
+// behaviour, and bank conflicts for known access patterns.
+#include <gtest/gtest.h>
+
+#include "simt/launch.hpp"
+
+namespace tcgpu::simt {
+namespace {
+
+GpuSpec test_spec() {
+  GpuSpec s = GpuSpec::v100();
+  s.launch_overhead_us = 0.0;
+  return s;
+}
+
+TEST(Coalescing, FullyCoalescedWordLoadsAreFourSectorsPerRequest) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(1024);
+  auto stats = launch_threads(test_spec(), 1, 32, 32, [&](ThreadCtx& ctx,
+                                                          std::uint64_t i) {
+    (void)ctx.load(buf, i);  // 32 lanes x 4B contiguous = 128B = 4 sectors
+  });
+  EXPECT_EQ(stats.metrics.global_load_requests, 1u);
+  EXPECT_EQ(stats.metrics.global_load_transactions, 4u);
+  EXPECT_DOUBLE_EQ(stats.metrics.gld_transactions_per_request(), 4.0);
+}
+
+TEST(Coalescing, StrideEightWordsTouches32Sectors) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(32 * 8);
+  auto stats = launch_threads(test_spec(), 1, 32, 32,
+                              [&](ThreadCtx& ctx, std::uint64_t i) {
+                                (void)ctx.load(buf, i * 8);  // one sector each
+                              });
+  EXPECT_EQ(stats.metrics.global_load_requests, 1u);
+  EXPECT_EQ(stats.metrics.global_load_transactions, 32u);
+}
+
+TEST(Coalescing, BroadcastLoadIsOneTransaction) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(64);
+  auto stats = launch_threads(test_spec(), 1, 32, 32,
+                              [&](ThreadCtx& ctx, std::uint64_t) {
+                                (void)ctx.load(buf, 7);  // same address, all lanes
+                              });
+  EXPECT_EQ(stats.metrics.global_load_requests, 1u);
+  EXPECT_EQ(stats.metrics.global_load_transactions, 1u);
+}
+
+TEST(Coalescing, EightByteLoadsDoubleTheSectors) {
+  Device dev;
+  auto buf = dev.alloc<std::uint64_t>(64);
+  auto stats = launch_threads(test_spec(), 1, 32, 32,
+                              [&](ThreadCtx& ctx, std::uint64_t i) {
+                                (void)ctx.load(buf, i);  // 32 x 8B = 8 sectors
+                              });
+  EXPECT_EQ(stats.metrics.global_load_transactions, 8u);
+}
+
+TEST(Coalescing, MisalignedStraddleCountsBothSectors) {
+  Device dev;
+  auto buf = dev.alloc<std::uint8_t>(256);
+  // A single 4-byte-wide access... the byte buffer lets us hit offset 30,
+  // straddling the sector boundary at 32.
+  auto stats = launch_threads(test_spec(), 1, 32, 1,
+                              [&](ThreadCtx& ctx, std::uint64_t) {
+                                (void)ctx.load(buf, 30);
+                                (void)ctx.load(buf, 33);
+                              });
+  // Two requests, each entirely within one sector apiece... offset 30 is a
+  // 1-byte access here (uint8), so: 2 requests, sectors {0} and {1}.
+  EXPECT_EQ(stats.metrics.global_load_requests, 2u);
+  EXPECT_EQ(stats.metrics.global_load_transactions, 2u);
+}
+
+TEST(Coalescing, OccurrenceAlignmentGroupsKthIterationAcrossLanes) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(32 * 4);
+  // Lane i loads 4 consecutive words starting at i*4: iteration k across the
+  // warp touches addresses {i*4+k} — stride-4 pattern, 16 sectors per step.
+  auto stats = launch_threads(test_spec(), 1, 32, 32,
+                              [&](ThreadCtx& ctx, std::uint64_t i) {
+                                for (std::uint32_t k = 0; k < 4; ++k) {
+                                  (void)ctx.load(buf, i * 4 + k);
+                                }
+                              });
+  EXPECT_EQ(stats.metrics.global_load_requests, 4u);
+  EXPECT_EQ(stats.metrics.global_load_transactions, 4u * 16u);
+}
+
+TEST(Coalescing, DivergentTrailingLanesShrinkLaterGroups) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(1024);
+  // Lane i performs i+1 loads: occurrence k is only issued by lanes >= k.
+  auto stats = launch_threads(test_spec(), 1, 32, 32,
+                              [&](ThreadCtx& ctx, std::uint64_t i) {
+                                for (std::uint64_t k = 0; k <= i; ++k) {
+                                  (void)ctx.load(buf, i);
+                                }
+                              });
+  EXPECT_EQ(stats.metrics.global_load_requests, 32u);  // max lane count
+  // Sum of active lanes = 32+31+...+1 = 528 over 32 steps.
+  EXPECT_NEAR(stats.metrics.warp_execution_efficiency(), 528.0 / (32.0 * 32.0),
+              1e-9);
+}
+
+TEST(Cache, RepeatedSectorHitsDoNotReachDram) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(8);
+  auto stats = launch_threads(test_spec(), 1, 32, 32,
+                              [&](ThreadCtx& ctx, std::uint64_t) {
+                                (void)ctx.load(buf, 0);
+                                (void)ctx.load(buf, 1);  // same sector again
+                              });
+  EXPECT_EQ(stats.metrics.global_load_transactions, 2u);
+  EXPECT_EQ(stats.metrics.global_dram_transactions, 1u);
+}
+
+TEST(Cache, EachBlockStartsCold) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(8);
+  auto stats = launch_threads(test_spec(), 4, 32, 4 * 32,
+                              [&](ThreadCtx& ctx, std::uint64_t) {
+                                (void)ctx.load(buf, 0);
+                              });
+  // Same sector, but 4 blocks x cold cache = 4 DRAM transactions.
+  EXPECT_EQ(stats.metrics.global_dram_transactions, 4u);
+}
+
+TEST(SharedBanks, ConflictFreeRowCostsNoExtraCycles) {
+  Device dev;
+  LaunchConfig cfg{1, 32, 32};
+  auto stats = launch_items<NoState>(
+      test_spec(), cfg, 1, [&](ThreadCtx& ctx, NoState&, std::uint64_t) {
+        auto arr = ctx.shared_array_tagged<std::uint32_t>(0, 64);
+        ctx.shared_store(arr, ctx.lane(), ctx.lane());  // one word per bank
+      });
+  EXPECT_EQ(stats.metrics.shared_store_requests, 1u);
+  EXPECT_EQ(stats.metrics.shared_conflict_cycles, 0u);
+}
+
+TEST(SharedBanks, StrideTwoWordsIsTwoWayConflict) {
+  Device dev;
+  LaunchConfig cfg{1, 32, 32};
+  auto stats = launch_items<NoState>(
+      test_spec(), cfg, 1, [&](ThreadCtx& ctx, NoState&, std::uint64_t) {
+        auto arr = ctx.shared_array_tagged<std::uint32_t>(0, 64);
+        ctx.shared_store(arr, ctx.lane() * 2, 1u);  // banks 0,2,4,... twice
+      });
+  EXPECT_EQ(stats.metrics.shared_conflict_cycles, 1u);  // degree 2 => 1 extra
+}
+
+TEST(SharedBanks, SameWordBroadcastIsConflictFree) {
+  Device dev;
+  LaunchConfig cfg{1, 32, 32};
+  auto stats = launch_items<NoState>(
+      test_spec(), cfg, 1, [&](ThreadCtx& ctx, NoState&, std::uint64_t) {
+        auto arr = ctx.shared_array_tagged<std::uint32_t>(0, 64);
+        (void)ctx.shared_load(arr, 5);  // every lane, same word
+      });
+  EXPECT_EQ(stats.metrics.shared_conflict_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace tcgpu::simt

@@ -1,0 +1,81 @@
+#include "simt/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcgpu::simt {
+namespace {
+
+TEST(Metrics, WarpEfficiencyDefinition) {
+  KernelMetrics m;
+  m.warp_steps = 10;
+  m.active_lane_steps = 160;  // 16 active lanes on average
+  EXPECT_DOUBLE_EQ(m.warp_execution_efficiency(), 0.5);
+}
+
+TEST(Metrics, WarpEfficiencyOfEmptyKernelIsOne) {
+  KernelMetrics m;
+  EXPECT_DOUBLE_EQ(m.warp_execution_efficiency(), 1.0);
+}
+
+TEST(Metrics, TransactionsPerRequestDefinition) {
+  KernelMetrics m;
+  m.global_load_requests = 4;
+  m.global_load_transactions = 32;
+  EXPECT_DOUBLE_EQ(m.gld_transactions_per_request(), 8.0);
+}
+
+TEST(Metrics, TransactionsPerRequestZeroWhenNoLoads) {
+  KernelMetrics m;
+  EXPECT_DOUBLE_EQ(m.gld_transactions_per_request(), 0.0);
+}
+
+TEST(Metrics, AccumulationSumsEveryCounter) {
+  KernelMetrics a, b;
+  a.global_load_requests = 1;
+  a.global_load_transactions = 2;
+  a.global_store_requests = 3;
+  a.global_store_transactions = 4;
+  a.global_atomic_requests = 5;
+  a.global_atomic_transactions = 6;
+  a.shared_load_requests = 7;
+  a.shared_store_requests = 8;
+  a.shared_atomic_requests = 9;
+  a.shared_conflict_cycles = 10;
+  a.warp_steps = 11;
+  a.active_lane_steps = 12;
+  a.warps_launched = 13;
+  b = a;
+  b += a;
+  EXPECT_EQ(b.global_load_requests, 2u);
+  EXPECT_EQ(b.global_load_transactions, 4u);
+  EXPECT_EQ(b.global_store_requests, 6u);
+  EXPECT_EQ(b.global_store_transactions, 8u);
+  EXPECT_EQ(b.global_atomic_requests, 10u);
+  EXPECT_EQ(b.global_atomic_transactions, 12u);
+  EXPECT_EQ(b.shared_load_requests, 14u);
+  EXPECT_EQ(b.shared_store_requests, 16u);
+  EXPECT_EQ(b.shared_atomic_requests, 18u);
+  EXPECT_EQ(b.shared_conflict_cycles, 20u);
+  EXPECT_EQ(b.warp_steps, 22u);
+  EXPECT_EQ(b.active_lane_steps, 24u);
+  EXPECT_EQ(b.warps_launched, 26u);
+}
+
+TEST(Metrics, GlobalTransactionsTotalSpansLoadStoreAtomic) {
+  KernelMetrics m;
+  m.global_load_transactions = 1;
+  m.global_store_transactions = 2;
+  m.global_atomic_transactions = 4;
+  EXPECT_EQ(m.global_transactions_total(), 7u);
+}
+
+TEST(KernelStats, LaunchTimesAdd) {
+  KernelStats a, b;
+  a.time_ms = 1.5;
+  b.time_ms = 2.25;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.time_ms, 3.75);
+}
+
+}  // namespace
+}  // namespace tcgpu::simt

@@ -1,0 +1,64 @@
+#include "simt/shared_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcgpu::simt {
+namespace {
+
+TEST(SharedArena, SameSiteReturnsSameStorage) {
+  SharedArena arena(1024);
+  auto [p1, o1] = arena.get(7, 64, 4);
+  auto [p2, o2] = arena.get(7, 64, 4);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(arena.used(), 64u);
+}
+
+TEST(SharedArena, DistinctSitesGetDisjointStorage) {
+  SharedArena arena(1024);
+  auto [p1, o1] = arena.get(1, 100, 4);
+  auto [p2, o2] = arena.get(2, 100, 4);
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(o2, o1 + 100);
+}
+
+TEST(SharedArena, RespectsAlignment) {
+  SharedArena arena(1024);
+  arena.get(1, 3, 1);
+  auto [p, off] = arena.get(2, 8, 8);
+  (void)p;
+  EXPECT_EQ(off % 8, 0u);
+}
+
+TEST(SharedArena, ThrowsWhenExhausted) {
+  SharedArena arena(128);
+  arena.get(1, 100, 4);
+  EXPECT_THROW(arena.get(2, 64, 4), std::length_error);
+}
+
+TEST(SharedArena, ThrowsOnGrowingResize) {
+  SharedArena arena(1024);
+  arena.get(1, 64, 4);
+  EXPECT_THROW(arena.get(1, 128, 4), std::length_error);
+}
+
+TEST(SharedArena, ResetForgetsAllocationsKeepsCapacity) {
+  SharedArena arena(256);
+  arena.get(1, 200, 4);
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_NO_THROW(arena.get(2, 200, 4));
+  EXPECT_EQ(arena.capacity(), 256u);
+}
+
+TEST(SharedView, OffsetsScaleByElementSize) {
+  SharedArena arena(256);
+  auto [p, off] = arena.get(1, 64, 8);
+  SharedView<std::uint64_t> view(reinterpret_cast<std::uint64_t*>(p), off, 8);
+  EXPECT_EQ(view.offset_of(0), off);
+  EXPECT_EQ(view.offset_of(3), off + 24u);
+  EXPECT_EQ(view.size(), 8u);
+}
+
+}  // namespace
+}  // namespace tcgpu::simt

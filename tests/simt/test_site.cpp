@@ -1,0 +1,59 @@
+#include "simt/site.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tcgpu::simt {
+namespace {
+
+std::uint32_t id_here() { return site_id(std::source_location::current()); }
+
+TEST(Site, SameCallSiteSameId) {
+  std::uint32_t a = 0, b = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto id = site_id(std::source_location::current());
+    if (i == 0) {
+      a = id;
+    } else {
+      b = id;
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(Site, DistinctCallSitesDistinctIds) {
+  const auto a = site_id(std::source_location::current());
+  const auto b = site_id(std::source_location::current());
+  EXPECT_NE(a, b);
+}
+
+TEST(Site, StableThroughHelperFunction) {
+  const auto a = id_here();
+  const auto b = id_here();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Site, IdsAreSmallDenseIntegers) {
+  const auto id = site_id(std::source_location::current());
+  EXPECT_GT(id, 0u);
+  EXPECT_LT(id, 0x80000000u);  // never collides with tagged shared arrays
+  EXPECT_LE(id, site_count());
+}
+
+TEST(Site, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  const std::source_location loc = std::source_location::current();
+  std::vector<std::uint32_t> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { ids[t] = site_id(loc); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[0], ids[t]);
+}
+
+}  // namespace
+}  // namespace tcgpu::simt

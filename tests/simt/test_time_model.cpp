@@ -1,0 +1,103 @@
+// The execution-time cost model: monotonicity and the knobs that matter.
+#include <gtest/gtest.h>
+
+#include "simt/launch.hpp"
+#include "simt/profiler.hpp"
+
+#include <sstream>
+
+namespace tcgpu::simt {
+namespace {
+
+GpuSpec no_overhead() {
+  GpuSpec s = GpuSpec::v100();
+  s.launch_overhead_us = 0.0;
+  return s;
+}
+
+double run_loads(const GpuSpec& spec, std::uint32_t grid, std::uint64_t items,
+                 std::uint32_t stride) {
+  Device dev;
+  auto buf = dev.alloc<std::uint32_t>(items * stride);
+  auto stats = launch_threads(spec, grid, 128, items,
+                              [&](ThreadCtx& ctx, std::uint64_t i) {
+                                (void)ctx.load(buf, i * stride);
+                              });
+  return stats.time_ms;
+}
+
+TEST(TimeModel, MoreWorkTakesLonger) {
+  const auto spec = no_overhead();
+  EXPECT_LT(run_loads(spec, 256, 100'000, 1), run_loads(spec, 256, 400'000, 1));
+}
+
+TEST(TimeModel, UncoalescedCostsMoreThanCoalesced) {
+  const auto spec = no_overhead();
+  EXPECT_LT(run_loads(spec, 256, 100'000, 1), run_loads(spec, 256, 100'000, 9));
+}
+
+TEST(TimeModel, MoreSmsRunFaster) {
+  GpuSpec few = no_overhead();
+  few.sm_count = 8;
+  GpuSpec many = no_overhead();
+  many.sm_count = 80;
+  EXPECT_GT(run_loads(few, 320, 400'000, 1), run_loads(many, 320, 400'000, 1));
+}
+
+TEST(TimeModel, HigherClockRunsFaster) {
+  GpuSpec slow = no_overhead();
+  slow.clock_ghz = 1.0;
+  GpuSpec fast = no_overhead();
+  fast.clock_ghz = 2.0;
+  EXPECT_GT(run_loads(slow, 256, 200'000, 1), run_loads(fast, 256, 200'000, 1));
+}
+
+TEST(TimeModel, LaunchOverheadIsCharged) {
+  GpuSpec spec = no_overhead();
+  spec.launch_overhead_us = 100.0;
+  const double t = run_loads(spec, 1, 32, 1);
+  EXPECT_GE(t, 0.1);  // 100 us = 0.1 ms floor
+}
+
+TEST(TimeModel, BandwidthBoundKicksInForStreamingKernels) {
+  GpuSpec narrow = no_overhead();
+  narrow.mem_bandwidth_gbps = 1.0;  // absurdly narrow DRAM
+  const double t_narrow = run_loads(narrow, 256, 400'000, 9);
+  const double t_wide = run_loads(no_overhead(), 256, 400'000, 9);
+  EXPECT_GT(t_narrow, t_wide * 5);
+}
+
+TEST(TimeModel, PresetsDiffer) {
+  const auto v100 = GpuSpec::v100();
+  const auto ada = GpuSpec::rtx4090();
+  EXPECT_NE(v100.sm_count, ada.sm_count);
+  EXPECT_GT(ada.shared_mem_per_block, v100.shared_mem_per_block);
+  EXPECT_GT(v100.bytes_per_cycle(), 0.0);
+}
+
+TEST(Profiler, ReportsPerLaunchAndTotals) {
+  Profiler prof;
+  KernelStats a;
+  a.time_ms = 1.0;
+  a.metrics.global_load_requests = 10;
+  a.metrics.global_load_transactions = 40;
+  KernelStats b;
+  b.time_ms = 2.0;
+  b.metrics.global_load_requests = 30;
+  b.metrics.global_load_transactions = 30;
+  prof.record("k1", a);
+  prof.record("k2", b);
+  EXPECT_EQ(prof.launch_count(), 2u);
+  const auto total = prof.total();
+  EXPECT_DOUBLE_EQ(total.time_ms, 3.0);
+  EXPECT_EQ(total.metrics.global_load_requests, 40u);
+  std::ostringstream os;
+  prof.report(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("k1"), std::string::npos);
+  EXPECT_NE(s.find("k2"), std::string::npos);
+  EXPECT_NE(s.find("[total]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcgpu::simt

@@ -1,0 +1,193 @@
+// Config-space correctness: every documented knob of every algorithm must
+// preserve exactness (the paper's "Program configuration" section tries
+// several of these per implementation).
+#include <gtest/gtest.h>
+
+#include "framework/runner.hpp"
+#include "gen/rmat.hpp"
+#include "tc/bisson.hpp"
+#include "tc/fox.hpp"
+#include "tc/green.hpp"
+#include "tc/grouptc.hpp"
+#include "tc/hindex.hpp"
+#include "tc/hu.hpp"
+#include "tc/polak.hpp"
+#include "tc/tricore.hpp"
+#include "tc/trust.hpp"
+
+namespace tcgpu::tc {
+namespace {
+
+const framework::PreparedGraph& test_graph() {
+  static const framework::PreparedGraph pg = [] {
+    gen::RmatParams p;
+    p.scale = 11;
+    p.edges = 12000;
+    return framework::prepare_graph("cfg_rmat", gen::generate_rmat(p, 55));
+  }();
+  return pg;
+}
+
+template <class Counter>
+void expect_exact(const Counter& algo, const std::string& what) {
+  const auto out =
+      framework::run_algorithm(algo, test_graph(), simt::GpuSpec::v100());
+  EXPECT_TRUE(out.valid) << what << ": got " << out.result.triangles << " want "
+                         << test_graph().reference_triangles;
+}
+
+TEST(PolakConfig, BlockSizes) {
+  for (const std::uint32_t block : {32u, 64u, 512u, 1024u}) {
+    PolakCounter::Config c;
+    c.block = block;
+    expect_exact(PolakCounter(c), "block=" + std::to_string(block));
+  }
+}
+
+TEST(GreenConfig, TeamSizes) {
+  for (const std::uint32_t team : {2u, 4u, 8u, 16u, 32u}) {
+    GreenCounter::Config c;
+    c.threads_per_edge = team;
+    expect_exact(GreenCounter(c), "team=" + std::to_string(team));
+  }
+}
+
+TEST(BissonConfig, AllThreeGranularities) {
+  {  // force block-per-vertex
+    BissonCounter::Config c;
+    c.block_threshold = 0.0;
+    expect_exact(BissonCounter(c), "block mode");
+  }
+  {  // force warp-per-vertex
+    BissonCounter::Config c;
+    c.block_threshold = 1e9;
+    c.warp_threshold = 0.0;
+    expect_exact(BissonCounter(c), "warp mode");
+  }
+  {  // force thread-per-vertex
+    BissonCounter::Config c;
+    c.block_threshold = 1e9;
+    c.warp_threshold = 1e9;
+    expect_exact(BissonCounter(c), "thread mode");
+  }
+}
+
+TEST(BissonConfig, GlobalBitmapFallbackOnTinySharedMemory) {
+  BissonCounter::Config c;
+  c.block_threshold = 0.0;  // block mode
+  BissonCounter algo(c);
+  simt::GpuSpec spec = simt::GpuSpec::v100();
+  spec.shared_mem_per_block = 256;  // V bits cannot fit -> global scratch
+  const auto out = framework::run_algorithm(algo, test_graph(), spec);
+  EXPECT_TRUE(out.valid);
+}
+
+TEST(TriCoreConfig, CachedLevels) {
+  for (const std::uint32_t levels : {1u, 2u, 3u, 4u, 5u}) {
+    TriCoreCounter::Config c;
+    c.cached_levels = levels;
+    expect_exact(TriCoreCounter(c), "levels=" + std::to_string(levels));
+  }
+}
+
+TEST(TriCoreConfig, NoCachingForSmallTables) {
+  TriCoreCounter::Config c;
+  c.min_table_for_cache = 0xFFFFFFFFu;  // never cache
+  expect_exact(TriCoreCounter(c), "cache disabled");
+}
+
+TEST(FoxConfig, BinCounts) {
+  for (const std::uint32_t bins : {1u, 2u, 4u, 6u}) {
+    FoxCounter::Config c;
+    c.num_bins = bins;
+    expect_exact(FoxCounter(c), "bins=" + std::to_string(bins));
+  }
+}
+
+TEST(HuConfig, TinySharedCacheStillExact) {
+  HuCounter::Config c;
+  c.cache_entries = 16;  // nearly everything falls back to global search
+  expect_exact(HuCounter(c), "cache_entries=16");
+}
+
+TEST(HuConfig, BlockSizes) {
+  for (const std::uint32_t block : {64u, 512u}) {
+    HuCounter::Config c;
+    c.block = block;
+    expect_exact(HuCounter(c), "block=" + std::to_string(block));
+  }
+}
+
+TEST(HIndexConfig, BlockPerEdgeVariantIsCorrectHere) {
+  // The paper found the authors' block configuration produced wrong
+  // results; this reimplementation must not.
+  HIndexCounter::Config c;
+  c.block_per_edge = true;
+  c.buckets = 256;
+  expect_exact(HIndexCounter(c), "block per edge");
+}
+
+TEST(HIndexConfig, SingleSharedSlotForcesOverflowPath) {
+  HIndexCounter::Config c;
+  c.shared_slots = 1;
+  expect_exact(HIndexCounter(c), "shared_slots=1");
+}
+
+TEST(HIndexConfig, BucketCounts) {
+  for (const std::uint32_t buckets : {8u, 16u, 64u}) {
+    HIndexCounter::Config c;
+    c.buckets = buckets;
+    expect_exact(HIndexCounter(c), "buckets=" + std::to_string(buckets));
+  }
+}
+
+TEST(TrustConfig, ThresholdExtremes) {
+  {  // everything through the block kernel
+    TrustCounter::Config c;
+    c.block_threshold = 1;
+    expect_exact(TrustCounter(c), "all block");
+  }
+  {  // everything through the warp kernel
+    TrustCounter::Config c;
+    c.block_threshold = 0xFFFFFFFFu;
+    expect_exact(TrustCounter(c), "all warp");
+  }
+}
+
+TEST(TrustConfig, BucketAndSlotVariants) {
+  TrustCounter::Config c;
+  c.block_buckets = 256;
+  c.block_slots = 2;
+  c.warp_buckets = 16;
+  c.warp_slots = 2;
+  expect_exact(TrustCounter(c), "small tables");
+}
+
+TEST(GroupTcConfig, EachOptimizationToggles) {
+  for (int mask = 0; mask < 8; ++mask) {
+    GroupTcCounter::Config c;
+    c.prefix_skip = mask & 1;
+    c.monotone_offset = mask & 2;
+    c.table_flip = mask & 4;
+    expect_exact(GroupTcCounter(c), "opt mask " + std::to_string(mask));
+  }
+}
+
+TEST(GroupTcConfig, ChunkSizes) {
+  for (const std::uint32_t chunk : {32u, 64u, 512u, 1024u}) {
+    GroupTcCounter::Config c;
+    c.block = chunk;
+    expect_exact(GroupTcCounter(c), "chunk=" + std::to_string(chunk));
+  }
+}
+
+TEST(GroupTcConfig, FlipRatios) {
+  for (const std::uint32_t ratio : {1u, 2u, 16u, 1024u}) {
+    GroupTcCounter::Config c;
+    c.flip_ratio = ratio;
+    expect_exact(GroupTcCounter(c), "flip_ratio=" + std::to_string(ratio));
+  }
+}
+
+}  // namespace
+}  // namespace tcgpu::tc

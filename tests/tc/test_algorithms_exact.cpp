@@ -1,0 +1,165 @@
+// Exactness: every algorithm must reproduce the CPU reference count on a
+// grid of structured and random graphs (TEST_P over algorithm x graph).
+#include <gtest/gtest.h>
+
+#include "framework/registry.hpp"
+#include "framework/runner.hpp"
+#include "gen/chung_lu.hpp"
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/star_burst.hpp"
+
+namespace tcgpu::tc {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  graph::Coo coo;
+};
+
+std::vector<GraphCase> graph_cases() {
+  std::vector<GraphCase> cases;
+
+  {  // complete graph: C(16,3) = 560 triangles, max density
+    graph::Coo k;
+    k.num_vertices = 16;
+    for (graph::VertexId i = 0; i < 16; ++i) {
+      for (graph::VertexId j = i + 1; j < 16; ++j) k.edges.push_back({i, j});
+    }
+    cases.push_back({"K16", std::move(k)});
+  }
+  {  // single edge: smallest non-empty graph
+    graph::Coo g;
+    g.num_vertices = 2;
+    g.edges = {{0, 1}};
+    cases.push_back({"single_edge", std::move(g)});
+  }
+  {  // path: zero triangles, max divergence between endpoints
+    graph::Coo g;
+    g.num_vertices = 50;
+    for (graph::VertexId i = 0; i + 1 < 50; ++i) g.edges.push_back({i, i + 1});
+    cases.push_back({"path50", std::move(g)});
+  }
+  {  // star: one hub, no triangles — the workload-imbalance worst case
+    graph::Coo g;
+    g.num_vertices = 200;
+    for (graph::VertexId leaf = 1; leaf < 200; ++leaf) g.edges.push_back({0, leaf});
+    cases.push_back({"star199", std::move(g)});
+  }
+  {  // two triangles sharing an edge
+    graph::Coo g;
+    g.num_vertices = 4;
+    g.edges = {{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}};
+    cases.push_back({"bowtie", std::move(g)});
+  }
+  {  // bipartite: wedges everywhere, triangles nowhere
+    graph::Coo g;
+    g.num_vertices = 40;
+    for (graph::VertexId a = 0; a < 20; ++a) {
+      for (graph::VertexId b = 20; b < 40; b += 3) g.edges.push_back({a, b});
+    }
+    cases.push_back({"bipartite", std::move(g)});
+  }
+  cases.push_back({"er", gen::generate_er(800, 6000, 21)});
+  {
+    gen::RmatParams p;
+    p.scale = 11;
+    p.edges = 15000;
+    cases.push_back({"rmat_skew", gen::generate_rmat(p, 22)});
+  }
+  {
+    gen::RoadParams p;
+    p.vertices = 3000;
+    cases.push_back({"road", gen::generate_road(p, 23)});
+  }
+  {
+    gen::StarBurstParams p;
+    p.vertices = 4000;
+    p.edges = 16000;
+    cases.push_back({"star_burst", gen::generate_star_burst(p, 24)});
+  }
+  {
+    gen::ChungLuParams p;
+    p.vertices = 3000;
+    p.edges = 12000;
+    cases.push_back({"chung_lu", gen::generate_chung_lu(p, 25)});
+  }
+  return cases;
+}
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& e : framework::extended_algorithms()) names.push_back(e.name);
+  return names;
+}
+
+class AlgorithmExactness
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(AlgorithmExactness, MatchesCpuReference) {
+  const auto& [algo_name, case_idx] = GetParam();
+  static const std::vector<GraphCase> cases = graph_cases();
+  const GraphCase& gc = cases[case_idx];
+
+  const auto pg = framework::prepare_graph(gc.name, gc.coo);
+  const auto algo = framework::make_algorithm(algo_name);
+  const auto out = framework::run_algorithm(*algo, pg, simt::GpuSpec::v100());
+  EXPECT_TRUE(out.valid) << algo_name << " on " << gc.name << ": got "
+                         << out.result.triangles << ", want "
+                         << pg.reference_triangles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllGraphs, AlgorithmExactness,
+    ::testing::Combine(::testing::ValuesIn(algorithm_names()),
+                       ::testing::Range<std::size_t>(0, graph_cases().size())),
+    [](const auto& info) {
+      static const std::vector<GraphCase> cases = graph_cases();
+      std::string name = std::get<0>(info.param) + "_" +
+                         cases[std::get<1>(info.param)].name;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(AlgorithmEdgeCases, EmptyGraphCountsZeroEverywhere) {
+  graph::Coo empty;
+  const auto pg = framework::prepare_graph("empty", empty);
+  for (const auto& e : framework::extended_algorithms()) {
+    const auto out =
+        framework::run_algorithm(*e.make(), pg, simt::GpuSpec::v100());
+    EXPECT_EQ(out.result.triangles, 0u) << e.name;
+    EXPECT_TRUE(out.valid) << e.name;
+  }
+}
+
+TEST(AlgorithmEdgeCases, RawInputWithLoopsAndDupsIsHandledByPipeline) {
+  graph::Coo messy;
+  messy.num_vertices = 6;
+  messy.edges = {{0, 0}, {0, 1}, {1, 0}, {1, 2}, {2, 0}, {2, 0}, {5, 5}};
+  const auto pg = framework::prepare_graph("messy", messy);
+  EXPECT_EQ(pg.reference_triangles, 1u);
+  for (const auto& e : framework::extended_algorithms()) {
+    EXPECT_TRUE(
+        framework::run_algorithm(*e.make(), pg, simt::GpuSpec::v100()).valid)
+        << e.name;
+  }
+}
+
+TEST(AlgorithmEdgeCases, Rtx4090SpecCountsIdentically) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edges = 6000;
+  const auto pg =
+      framework::prepare_graph("rmat4090", gen::generate_rmat(p, 31));
+  for (const auto& e : framework::extended_algorithms()) {
+    EXPECT_TRUE(
+        framework::run_algorithm(*e.make(), pg, simt::GpuSpec::rtx4090()).valid)
+        << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace tcgpu::tc

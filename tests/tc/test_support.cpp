@@ -1,0 +1,105 @@
+#include "tc/support.hpp"
+
+#include <gtest/gtest.h>
+
+#include "framework/runner.hpp"
+#include "gen/rmat.hpp"
+#include "graph/cpu_reference.hpp"
+
+namespace tcgpu::tc {
+namespace {
+
+/// CPU reference for per-edge support on the oriented DAG.
+std::vector<std::uint32_t> cpu_support(const graph::Csr& dag) {
+  std::vector<std::uint32_t> sup(dag.num_edges(), 0);
+  // Edge id of (a,b): position of b in a's sorted list + row offset.
+  auto edge_id = [&](graph::VertexId a, graph::VertexId b) -> std::uint32_t {
+    const auto nb = dag.neighbors(a);
+    const auto it = std::lower_bound(nb.begin(), nb.end(), b);
+    return dag.row_ptr()[a] + static_cast<std::uint32_t>(it - nb.begin());
+  };
+  for (graph::VertexId u = 0; u < dag.num_vertices(); ++u) {
+    for (const graph::VertexId v : dag.neighbors(u)) {
+      for (const graph::VertexId w : dag.neighbors(v)) {
+        if (dag.has_edge(u, w)) {
+          sup[edge_id(u, v)]++;
+          sup[edge_id(u, w)]++;
+          sup[edge_id(v, w)]++;
+        }
+      }
+    }
+  }
+  return sup;
+}
+
+std::vector<std::uint32_t> gpu_support(const graph::Csr& dag,
+                                       std::uint32_t chunk = 256) {
+  simt::Device dev;
+  const DeviceGraph g = DeviceGraph::upload(dev, dag);
+  auto support = dev.alloc<std::uint32_t>(g.num_edges, "support");
+  count_edge_support(dev, simt::GpuSpec::v100(), g, support, chunk);
+  return {support.host_data(), support.host_data() + g.num_edges};
+}
+
+TEST(EdgeSupport, MatchesCpuReferenceOnRmat) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edges = 6000;
+  const auto pg = framework::prepare_graph("sup", gen::generate_rmat(p, 3));
+  EXPECT_EQ(gpu_support(pg.dag), cpu_support(pg.dag));
+}
+
+TEST(EdgeSupport, SumIsThreeTimesTriangles) {
+  gen::RmatParams p;
+  p.scale = 11;
+  p.edges = 10000;
+  const auto pg = framework::prepare_graph("sup", gen::generate_rmat(p, 9));
+  simt::Device dev;
+  const DeviceGraph g = DeviceGraph::upload(dev, pg.dag);
+  auto support = dev.alloc<std::uint32_t>(g.num_edges, "support");
+  const auto r = count_edge_support(dev, simt::GpuSpec::v100(), g, support);
+  EXPECT_EQ(r.triangles, pg.reference_triangles);
+}
+
+TEST(EdgeSupport, CompleteGraphEdgesAllHaveNMinus2) {
+  graph::Coo k;
+  k.num_vertices = 9;
+  for (graph::VertexId i = 0; i < 9; ++i) {
+    for (graph::VertexId j = i + 1; j < 9; ++j) k.edges.push_back({i, j});
+  }
+  const auto pg = framework::prepare_graph("k9", k);
+  for (const std::uint32_t s : gpu_support(pg.dag)) EXPECT_EQ(s, 7u);
+}
+
+TEST(EdgeSupport, TriangleFreeGraphIsAllZero) {
+  graph::Coo g;
+  g.num_vertices = 20;
+  for (graph::VertexId i = 0; i + 1 < 20; ++i) g.edges.push_back({i, i + 1});
+  const auto pg = framework::prepare_graph("path", g);
+  for (const std::uint32_t s : gpu_support(pg.dag)) EXPECT_EQ(s, 0u);
+}
+
+TEST(EdgeSupport, ChunkSizeDoesNotChangeResults) {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.edges = 3000;
+  const auto pg = framework::prepare_graph("sup", gen::generate_rmat(p, 4));
+  const auto base = gpu_support(pg.dag, 256);
+  EXPECT_EQ(base, gpu_support(pg.dag, 64));
+  EXPECT_EQ(base, gpu_support(pg.dag, 1024));
+}
+
+TEST(EdgeSupport, RejectsUndersizedBuffer) {
+  gen::RmatParams p;
+  p.scale = 8;
+  p.edges = 1000;
+  const auto pg = framework::prepare_graph("sup", gen::generate_rmat(p, 5));
+  simt::Device dev;
+  const DeviceGraph g = DeviceGraph::upload(dev, pg.dag);
+  auto tiny = dev.alloc<std::uint32_t>(1, "tiny");
+  EXPECT_THROW(count_edge_support(dev, simt::GpuSpec::v100(), g, tiny),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tcgpu::tc
