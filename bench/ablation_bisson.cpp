@@ -3,12 +3,12 @@
 // Downscaled datasets have small V, so the shared path makes Bisson look
 // far better than the paper's full-scale measurements — this harness makes
 // that effect measurable instead of anecdotal by sweeping V at a constant
-// average degree and printing the shared/global split.
+// average degree and printing the shared/global split. Each generated graph
+// is prepared once and its DAG shared by both counters via the engine pool.
 #include <iostream>
 
-#include "framework/options.hpp"
-#include "framework/runner.hpp"
-#include "framework/table.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
 #include "gen/rmat.hpp"
 #include "tc/bisson.hpp"
 #include "tc/polak.hpp"
@@ -22,11 +22,10 @@ int main(int argc, char** argv) {
     std::cerr << e.what() << '\n';
     return 2;
   }
-  const auto gpu = framework::spec_for(opt.gpu);
+  framework::Engine engine(opt);
+  const auto& gpu = engine.config().spec;
   const std::uint32_t shared_limit_v = gpu.shared_mem_per_block * 8;  // bits
 
-  std::cout << "== Bisson bitmap placement vs graph size (avg degree ~8; "
-            << "shared bitmap fits while V <= " << shared_limit_v << ") ==\n";
   framework::ResultTable table({"V_target", "V", "E", "bitmap", "Bisson_ms",
                                 "Polak_ms", "Bisson/Polak"});
   for (const std::uint32_t v_target :
@@ -35,18 +34,16 @@ int main(int argc, char** argv) {
     p.scale = 21;
     p.fold_to = v_target;
     p.edges = static_cast<std::uint64_t>(v_target) * 4;  // avg degree ~8
-    const auto pg = framework::prepare_graph("rmat_v" + std::to_string(v_target),
-                                             gen::generate_rmat(p, opt.seed));
+    const auto pg = engine.prepare_raw("rmat_v" + std::to_string(v_target),
+                                       gen::generate_rmat(p, opt.seed));
     tc::BissonCounter::Config bc;
     bc.block_threshold = 0.0;  // always the block/bitmap path
-    const auto bisson =
-        framework::run_algorithm(tc::BissonCounter(bc), pg, gpu);
-    const auto polak =
-        framework::run_algorithm(tc::PolakCounter(), pg, gpu);
-    const bool in_shared = pg.stats.num_vertices <= shared_limit_v;
+    const auto bisson = engine.run(tc::BissonCounter(bc), pg);
+    const auto polak = engine.run(tc::PolakCounter(), pg);
+    const bool in_shared = pg->stats.num_vertices <= shared_limit_v;
     table.add_row(
-        {std::to_string(v_target), std::to_string(pg.stats.num_vertices),
-         std::to_string(pg.stats.num_undirected_edges),
+        {std::to_string(v_target), std::to_string(pg->stats.num_vertices),
+         std::to_string(pg->stats.num_undirected_edges),
          in_shared ? "shared" : "global",
          framework::ResultTable::fmt(bisson.result.total.time_ms, 4),
          framework::ResultTable::fmt(polak.result.total.time_ms, 4),
@@ -57,10 +54,9 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (opt.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print_aligned(std::cout);
-  }
-  return 0;
+  framework::emit(table, opt, std::cout,
+                  "Bisson bitmap placement vs graph size (avg degree ~8; "
+                  "shared bitmap fits while V <= " +
+                      std::to_string(shared_limit_v) + ")");
+  return engine.exit_code();
 }

@@ -1,11 +1,11 @@
 // Ablation of TRUST's degree-split heuristic (§III-H): the block/warp
 // out-degree threshold (paper: 100) and the hash bucket counts
 // (paper: 1024 for blocks, 32 for warps).
+// All variants share one engine-resident graph: one prepare, one upload.
 #include <iostream>
 
-#include "framework/options.hpp"
-#include "framework/runner.hpp"
-#include "framework/table.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
 #include "tc/trust.hpp"
 
 int main(int argc, char** argv) {
@@ -18,9 +18,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string dataset = opt.datasets.empty() ? "As-Skitter" : opt.datasets[0];
-  const auto pg =
-      framework::prepare_dataset(gen::dataset_by_name(dataset), opt.max_edges, opt.seed);
-  const auto gpu = framework::spec_for(opt.gpu);
+  framework::Engine engine(opt);
+  const auto pg = engine.prepare(dataset);
 
   struct Variant {
     std::string name;
@@ -47,25 +46,18 @@ int main(int argc, char** argv) {
     variants.push_back({"warp buckets 16", c});
   }
 
-  std::cout << "== TRUST ablation on " << dataset << " (E="
-            << pg.stats.num_undirected_edges << ") ==\n";
   framework::ResultTable table(
       {"variant", "time_ms", "valid", "gld_requests", "warp_eff_pct"});
-  bool all_valid = true;
   for (const auto& v : variants) {
-    const tc::TrustCounter algo(v.cfg);
-    const auto out = framework::run_algorithm(algo, pg, gpu);
-    all_valid &= out.valid;
+    const auto out = engine.run(tc::TrustCounter(v.cfg), pg);
     table.add_row({v.name, framework::ResultTable::fmt(out.result.total.time_ms, 4),
                    out.valid ? "yes" : "NO",
                    std::to_string(out.result.total.metrics.global_load_requests),
                    framework::ResultTable::fmt(
                        out.result.total.metrics.warp_execution_efficiency() * 100, 1)});
   }
-  if (opt.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print_aligned(std::cout);
-  }
-  return all_valid ? 0 : 1;
+  framework::emit(table, opt, std::cout,
+                  "TRUST ablation on " + dataset + " (E=" +
+                      std::to_string(pg->stats.num_undirected_edges) + ")");
+  return engine.exit_code();
 }

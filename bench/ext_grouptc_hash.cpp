@@ -5,8 +5,8 @@
 // measures whether grafting it onto the chunked schedule closes that gap.
 #include <iostream>
 
-#include "framework/sweep.hpp"
-#include "framework/table.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -24,28 +24,25 @@ int main(int argc, char** argv) {
       algos.push_back(e);
     }
   }
-  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+  framework::Engine engine(opt);
+  const auto rows = engine.sweep(algos, std::cerr);
 
-  std::cout << "== Extension: GroupTC-H vs GroupTC vs TRUST (ms), " << opt.gpu
-            << ", edge cap " << opt.max_edges << " ==\n";
   framework::ResultTable table({"dataset", "avg_deg", "TRUST", "GroupTC",
                                 "GroupTC-H", "H/base", "H/TRUST"});
   for (const auto& row : rows) {
     const double trust = row.outcomes[0].result.total.time_ms;
     const double base = row.outcomes[1].result.total.time_ms;
     const double hash = row.outcomes[2].result.total.time_ms;
-    table.add_row({row.graph.name,
-                   framework::ResultTable::fmt(row.graph.stats.avg_degree, 1),
+    table.add_row({row.graph->name,
+                   framework::ResultTable::fmt(row.graph->stats.avg_degree, 1),
                    framework::ResultTable::fmt(trust, 4),
                    framework::ResultTable::fmt(base, 4),
                    framework::ResultTable::fmt(hash, 4),
                    framework::ResultTable::fmt(base / hash, 2) + "x",
                    framework::ResultTable::fmt(trust / hash, 2) + "x"});
   }
-  if (opt.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print_aligned(std::cout);
-  }
-  return 0;
+  framework::emit(table, opt, std::cout,
+                  "Extension: GroupTC-H vs GroupTC vs TRUST (ms), " + opt.gpu +
+                      ", edge cap " + std::to_string(opt.max_edges));
+  return engine.exit_code();
 }

@@ -8,8 +8,8 @@
 // Green trail everywhere.
 #include <iostream>
 
-#include "framework/sweep.hpp"
-#include "framework/table.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -22,24 +22,21 @@ int main(int argc, char** argv) {
   }
 
   const auto& algos = framework::all_algorithms();
-  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+  framework::Engine engine(opt);
+  const auto rows = engine.sweep(algos, std::cerr);
 
-  std::cout << "== Figure 11: kernel running time (ms), " << opt.gpu
-            << ", edge cap " << opt.max_edges << " ==\n";
   std::vector<std::string> cols = {"dataset", "E", "avg_deg"};
   for (const auto& a : algos) cols.push_back(a.name);
   cols.push_back("winner");
   framework::ResultTable table(cols);
 
-  bool all_valid = true;
   for (const auto& row : rows) {
     std::vector<std::string> cells = {
-        row.graph.name, std::to_string(row.graph.stats.num_undirected_edges),
-        framework::ResultTable::fmt(row.graph.stats.avg_degree, 1)};
+        row.graph->name, std::to_string(row.graph->stats.num_undirected_edges),
+        framework::ResultTable::fmt(row.graph->stats.avg_degree, 1)};
     std::size_t best = 0;
     for (std::size_t i = 0; i < row.outcomes.size(); ++i) {
       const auto& out = row.outcomes[i];
-      all_valid &= out.valid;
       cells.push_back(framework::ResultTable::fmt(out.result.total.time_ms, 4) +
                       (out.valid ? "" : "!"));
       if (out.result.total.time_ms < row.outcomes[best].result.total.time_ms) {
@@ -49,14 +46,11 @@ int main(int argc, char** argv) {
     cells.push_back(algos[best].name);
     table.add_row(std::move(cells));
   }
-  if (opt.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print_aligned(std::cout);
-  }
-  if (!all_valid) {
+  framework::emit(table, opt, std::cout,
+                  "Figure 11: kernel running time (ms), " + opt.gpu +
+                      ", edge cap " + std::to_string(opt.max_edges));
+  if (!engine.all_valid()) {
     std::cerr << "WARNING: at least one count mismatched the CPU reference\n";
-    return 1;
   }
-  return 0;
+  return engine.exit_code();
 }

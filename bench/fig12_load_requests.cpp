@@ -4,8 +4,8 @@
 // Hu highest).
 #include <iostream>
 
-#include "framework/sweep.hpp"
-#include "framework/table.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -18,25 +18,22 @@ int main(int argc, char** argv) {
   }
 
   const auto& algos = framework::all_algorithms();
-  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+  framework::Engine engine(opt);
+  const auto rows = engine.sweep(algos, std::cerr);
 
-  std::cout << "== Figure 12: global load requests, " << opt.gpu << ", edge cap "
-            << opt.max_edges << " ==\n";
   std::vector<std::string> cols = {"dataset", "E"};
   for (const auto& a : algos) cols.push_back(a.name);
   framework::ResultTable table(cols);
   for (const auto& row : rows) {
     std::vector<std::string> cells = {
-        row.graph.name, std::to_string(row.graph.stats.num_undirected_edges)};
+        row.graph->name, std::to_string(row.graph->stats.num_undirected_edges)};
     for (const auto& out : row.outcomes) {
       cells.push_back(std::to_string(out.result.total.metrics.global_load_requests));
     }
     table.add_row(std::move(cells));
   }
-  if (opt.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print_aligned(std::cout);
-  }
-  return 0;
+  framework::emit(table, opt, std::cout,
+                  "Figure 12: global load requests, " + opt.gpu + ", edge cap " +
+                      std::to_string(opt.max_edges));
+  return engine.exit_code();
 }

@@ -6,8 +6,8 @@
 // GroupTC highest).
 #include <iostream>
 
-#include "framework/sweep.hpp"
-#include "framework/table.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -20,42 +20,35 @@ int main(int argc, char** argv) {
   }
 
   const auto& algos = framework::all_algorithms();
-  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+  framework::Engine engine(opt);
+  const auto rows = engine.sweep(algos, std::cerr);
 
   std::vector<std::string> cols = {"dataset"};
   for (const auto& a : algos) cols.push_back(a.name);
 
-  std::cout << "== Figure 13(a): warp execution efficiency (%), " << opt.gpu
-            << ", edge cap " << opt.max_edges << " ==\n";
   framework::ResultTable eff(cols);
   for (const auto& row : rows) {
-    std::vector<std::string> cells = {row.graph.name};
+    std::vector<std::string> cells = {row.graph->name};
     for (const auto& out : row.outcomes) {
       cells.push_back(framework::ResultTable::fmt(
           out.result.total.metrics.warp_execution_efficiency() * 100.0, 1));
     }
     eff.add_row(std::move(cells));
   }
-  if (opt.csv) {
-    eff.print_csv(std::cout);
-  } else {
-    eff.print_aligned(std::cout);
-  }
+  framework::emit(eff, opt, std::cout,
+                  "Figure 13(a): warp execution efficiency (%), " + opt.gpu +
+                      ", edge cap " + std::to_string(opt.max_edges));
 
-  std::cout << "\n== Figure 13(b): gld_transactions_per_request ==\n";
+  std::cout << '\n';
   framework::ResultTable tx(cols);
   for (const auto& row : rows) {
-    std::vector<std::string> cells = {row.graph.name};
+    std::vector<std::string> cells = {row.graph->name};
     for (const auto& out : row.outcomes) {
       cells.push_back(framework::ResultTable::fmt(
           out.result.total.metrics.gld_transactions_per_request(), 2));
     }
     tx.add_row(std::move(cells));
   }
-  if (opt.csv) {
-    tx.print_csv(std::cout);
-  } else {
-    tx.print_aligned(std::cout);
-  }
-  return 0;
+  framework::emit(tx, opt, std::cout, "Figure 13(b): gld_transactions_per_request");
+  return engine.exit_code();
 }

@@ -4,8 +4,8 @@
 // small/medium, 0.94-1.01x on large).
 #include <iostream>
 
-#include "framework/sweep.hpp"
-#include "framework/table.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -18,10 +18,9 @@ int main(int argc, char** argv) {
   }
 
   const auto& algos = framework::headline_algorithms();  // Polak, TRUST, GroupTC
-  const auto rows = framework::run_sweep(opt, algos, std::cerr);
+  framework::Engine engine(opt);
+  const auto rows = engine.sweep(algos, std::cerr);
 
-  std::cout << "== Figure 15: GroupTC vs Polak vs TRUST (ms), " << opt.gpu
-            << ", edge cap " << opt.max_edges << " ==\n";
   framework::ResultTable table({"dataset", "E", "Polak", "TRUST", "GroupTC",
                                 "GroupTC/Polak", "GroupTC/TRUST"});
   int grouptc_beats_polak = 0;
@@ -30,20 +29,18 @@ int main(int argc, char** argv) {
     const double trust = row.outcomes[1].result.total.time_ms;
     const double grouptc = row.outcomes[2].result.total.time_ms;
     if (grouptc < polak) ++grouptc_beats_polak;
-    table.add_row({row.graph.name,
-                   std::to_string(row.graph.stats.num_undirected_edges),
+    table.add_row({row.graph->name,
+                   std::to_string(row.graph->stats.num_undirected_edges),
                    framework::ResultTable::fmt(polak, 4),
                    framework::ResultTable::fmt(trust, 4),
                    framework::ResultTable::fmt(grouptc, 4),
                    framework::ResultTable::fmt(polak / grouptc, 2) + "x",
                    framework::ResultTable::fmt(trust / grouptc, 2) + "x"});
   }
-  if (opt.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print_aligned(std::cout);
-  }
+  framework::emit(table, opt, std::cout,
+                  "Figure 15: GroupTC vs Polak vs TRUST (ms), " + opt.gpu +
+                      ", edge cap " + std::to_string(opt.max_edges));
   std::cout << "GroupTC beats Polak on " << grouptc_beats_polak << "/" << rows.size()
             << " datasets (paper: 17/19)\n";
-  return 0;
+  return engine.exit_code();
 }

@@ -5,13 +5,18 @@
 #include <iostream>
 
 #include "framework/registry.hpp"
-#include "framework/table.hpp"
+#include "framework/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
-  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
 
-  std::cout << "== Table I: major ITC algorithms on GPUs ==\n";
   framework::ResultTable table({"Name", "Year", "Iterator", "Intersection",
                                 "Granularity"});
   for (const auto& entry : framework::all_algorithms()) {
@@ -20,10 +25,6 @@ int main(int argc, char** argv) {
     table.add_row({entry.name, std::to_string(t.year), t.iterator, t.intersection,
                    t.granularity});
   }
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print_aligned(std::cout);
-  }
+  framework::emit(table, opt, std::cout, "Table I: major ITC algorithms on GPUs");
   return 0;
 }

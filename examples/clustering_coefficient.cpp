@@ -6,15 +6,14 @@
 //   C = 3 * triangles / wedges
 //
 // Triangles come from a GPU counter (TRUST here — the study's pick for
-// medium/large graphs); wedges are a host-side degree sum.
+// medium/large graphs) run through the engine; wedges are a host-side
+// degree sum.
 //
 //   $ ./clustering_coefficient [--datasets=Com-Dblp] [--max-edges=N]
 #include <cstdint>
 #include <iostream>
 
-#include "framework/options.hpp"
-#include "framework/registry.hpp"
-#include "framework/runner.hpp"
+#include "framework/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -26,23 +25,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string dataset = opt.datasets.empty() ? "Com-Dblp" : opt.datasets[0];
-  const auto& ds = gen::dataset_by_name(dataset);
 
-  const auto pg = framework::prepare_dataset(ds, opt.max_edges, opt.seed);
+  framework::Engine engine(opt);
+  const auto pg = engine.prepare(dataset);
 
   // Wedges: sum over vertices of C(d, 2) on the undirected degrees. The
   // oriented DAG's in+out degree equals the undirected degree; recover it
   // from the DAG to avoid keeping the symmetric CSR around.
-  std::vector<std::uint64_t> degree(pg.dag.num_vertices(), 0);
-  for (graph::VertexId u = 0; u < pg.dag.num_vertices(); ++u) {
-    degree[u] += pg.dag.degree(u);
-    for (const graph::VertexId v : pg.dag.neighbors(u)) degree[v] += 1;
+  std::vector<std::uint64_t> degree(pg->dag.num_vertices(), 0);
+  for (graph::VertexId u = 0; u < pg->dag.num_vertices(); ++u) {
+    degree[u] += pg->dag.degree(u);
+    for (const graph::VertexId v : pg->dag.neighbors(u)) degree[v] += 1;
   }
   std::uint64_t wedges = 0;
   for (const std::uint64_t d : degree) wedges += d * (d - 1) / 2;
 
-  const auto algo = framework::make_algorithm("TRUST");
-  const auto out = framework::run_algorithm(*algo, pg, simt::GpuSpec::v100());
+  const auto out = engine.run("TRUST", pg);
   if (!out.valid) {
     std::cerr << "count mismatch against CPU reference\n";
     return 1;

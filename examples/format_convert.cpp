@@ -14,11 +14,10 @@
 #include <iostream>
 #include <string>
 
+#include "framework/engine.hpp"
 #include "gen/rmat.hpp"
 #include "graph/builder.hpp"
-#include "graph/cpu_reference.hpp"
 #include "graph/io.hpp"
-#include "graph/orientation.hpp"
 
 namespace {
 
@@ -56,26 +55,26 @@ void save_any(const std::string& path, const graph::Coo& clean) {
   throw std::runtime_error("unknown output format: " + path);
 }
 
-std::uint64_t triangles_of(const graph::Coo& raw) {
-  const auto clean = graph::clean_edges(raw);
-  const auto und = graph::build_undirected_csr(clean);
-  return graph::count_triangles_forward(
-      graph::orient(und, graph::OrientationPolicy::kByDegree).dag);
+// The engine's prepare pipeline (clean → orient → CPU reference count) is
+// exactly the invariant a round-trip must preserve.
+std::uint64_t triangles_of(framework::Engine& engine, const graph::Coo& raw) {
+  return engine.prepare_raw("roundtrip", raw)->reference_triangles;
 }
 
 int self_demo() {
+  framework::Engine engine;
   gen::RmatParams p;
   p.scale = 12;
   p.edges = 20'000;
   const graph::Coo raw = gen::generate_rmat(p, 11);
   const graph::Coo clean = graph::clean_edges(raw);
-  const std::uint64_t want = triangles_of(clean);
+  const std::uint64_t want = triangles_of(engine, clean);
   const auto dir = std::filesystem::temp_directory_path() / "tcgpu_convert_demo";
   std::filesystem::create_directories(dir);
   for (const char* name : {"g.txt", "g.bin", "g.mtx", "g.csr"}) {
     const std::string path = (dir / name).string();
     save_any(path, clean);
-    const std::uint64_t got = triangles_of(load_any(path));
+    const std::uint64_t got = triangles_of(engine, load_any(path));
     std::printf("%-6s triangles=%llu %s\n", extension(path).c_str(),
                 static_cast<unsigned long long>(got),
                 got == want ? "ok" : "** MISMATCH **");

@@ -8,8 +8,7 @@
 #include <map>
 
 #include "apps/ktruss.hpp"
-#include "framework/options.hpp"
-#include "framework/runner.hpp"
+#include "framework/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -22,15 +21,15 @@ int main(int argc, char** argv) {
   }
   const std::string dataset = opt.datasets.empty() ? "Com-Dblp" : opt.datasets[0];
   // k-truss peels repeatedly, so default to a lighter cap than the benches.
-  const std::uint64_t cap = opt.max_edges == 100'000 ? 30'000 : opt.max_edges;
+  if (opt.max_edges == 100'000) opt.max_edges = 30'000;
 
-  const auto pg =
-      framework::prepare_dataset(gen::dataset_by_name(dataset), cap, opt.seed);
-  std::cout << dataset << " (scaled): V=" << pg.stats.num_vertices
-            << " E=" << pg.stats.num_undirected_edges
-            << " triangles=" << pg.reference_triangles << "\n";
+  framework::Engine engine(opt);
+  const auto pg = engine.prepare(dataset);
+  std::cout << dataset << " (scaled): V=" << pg->stats.num_vertices
+            << " E=" << pg->stats.num_undirected_edges
+            << " triangles=" << pg->reference_triangles << "\n";
 
-  const auto r = apps::ktruss_decompose(pg.dag, framework::spec_for(opt.gpu));
+  const auto r = apps::ktruss_decompose(pg->dag, engine.config().spec);
 
   std::map<std::uint32_t, std::uint64_t> level_counts;
   for (const auto t : r.trussness) level_counts[t]++;

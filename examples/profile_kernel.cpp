@@ -5,9 +5,7 @@
 //   $ ./profile_kernel TRUST [--datasets=Wiki-Talk] [--max-edges=N]
 #include <iostream>
 
-#include "framework/options.hpp"
-#include "framework/registry.hpp"
-#include "framework/runner.hpp"
+#include "framework/engine.hpp"
 #include "simt/profiler.hpp"
 
 int main(int argc, char** argv) {
@@ -28,18 +26,17 @@ int main(int argc, char** argv) {
   }
   const std::string dataset = opt.datasets.empty() ? "Wiki-Talk" : opt.datasets[0];
 
-  const auto pg =
-      framework::prepare_dataset(gen::dataset_by_name(dataset), opt.max_edges, opt.seed);
-  const auto algo = framework::make_algorithm(algo_name);
-  const auto out = framework::run_algorithm(*algo, pg, framework::spec_for(opt.gpu));
+  framework::Engine engine(opt);
+  const auto pg = engine.prepare(dataset);
+  const auto out = engine.run(algo_name, pg);
 
   std::cout << "==== profile: " << algo_name << " on " << dataset
-            << " (V=" << pg.stats.num_vertices
-            << ", E=" << pg.stats.num_undirected_edges << ") ====\n";
+            << " (V=" << pg->stats.num_vertices
+            << ", E=" << pg->stats.num_undirected_edges << ") ====\n";
   simt::Profiler prof;
   for (const auto& [name, stats] : out.result.launches) prof.record(name, stats);
   prof.report(std::cout);
   std::cout << "triangles: " << out.result.triangles
             << (out.valid ? " (validated)" : "  ** MISMATCH **") << '\n';
-  return out.valid ? 0 : 1;
+  return engine.exit_code();
 }

@@ -4,40 +4,40 @@
 //
 //   $ ./quickstart
 //
-// The same five steps work for any algorithm in the registry and any graph
-// you can express as an edge list: generate/load -> prepare (clean, orient,
-// reference-count) -> pick an algorithm -> run -> inspect.
+// The same four steps work for any algorithm in the registry and any graph
+// you can express as an edge list: make an engine -> prepare (clean, orient,
+// reference-count; cached) -> run by algorithm name -> inspect. The engine
+// keeps the prepared graph and its device-resident DAG around, so further
+// runs on the same graph skip straight to the kernel.
 #include <cstdio>
 
-#include "framework/registry.hpp"
-#include "framework/runner.hpp"
+#include "framework/engine.hpp"
 #include "gen/rmat.hpp"
 
 int main() {
   using namespace tcgpu;
 
-  // 1. A small power-law graph (any graph::Coo works: see graph/io.hpp for
-  //    loading SNAP-style edge lists from disk).
+  // 1. The execution engine: prepared-graph cache + device-graph pool +
+  //    validation, on a simulated V100 by default.
+  framework::Engine engine;
+
+  // 2. A small power-law graph (any graph::Coo works: see graph/io.hpp for
+  //    loading SNAP-style edge lists from disk), cleaned + oriented (u<v
+  //    DAG) + CPU-reference-counted in one call.
   gen::RmatParams params;
   params.scale = 14;
   params.edges = 100'000;
-  const graph::Coo raw = gen::generate_rmat(params, /*seed=*/7);
-
-  // 2. Clean + orient + CPU reference count, in one call.
-  const framework::PreparedGraph pg = framework::prepare_graph("quickstart", raw);
+  const auto pg = engine.prepare_raw("quickstart", gen::generate_rmat(params, 7));
   std::printf("graph: %u vertices, %llu edges, avg degree %.1f\n",
-              pg.stats.num_vertices,
-              static_cast<unsigned long long>(pg.stats.num_undirected_edges),
-              pg.stats.avg_degree);
+              pg->stats.num_vertices,
+              static_cast<unsigned long long>(pg->stats.num_undirected_edges),
+              pg->stats.avg_degree);
 
-  // 3. Pick an algorithm (all of Table I plus GroupTC are registered).
-  const auto algo = framework::make_algorithm("GroupTC");
+  // 3. Run any of the nine registered algorithms by name; the DAG is
+  //    uploaded once and shared by every run on this graph.
+  const auto outcome = engine.run("GroupTC", pg);
 
-  // 4. Run it on the simulated V100.
-  const auto outcome =
-      framework::run_algorithm(*algo, pg, simt::GpuSpec::v100());
-
-  // 5. Results: exact count, validated against the CPU reference, plus the
+  // 4. Results: exact count, validated against the CPU reference, plus the
   //    nvprof-style metrics of §IV.
   std::printf("triangles: %llu (%s)\n",
               static_cast<unsigned long long>(outcome.result.triangles),
@@ -50,5 +50,5 @@ int main() {
               outcome.result.total.metrics.gld_transactions_per_request());
   std::printf("warp_execution_efficiency: %.1f%%\n",
               outcome.result.total.metrics.warp_execution_efficiency() * 100.0);
-  return outcome.valid ? 0 : 1;
+  return engine.exit_code();
 }

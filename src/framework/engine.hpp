@@ -1,0 +1,149 @@
+// The execution engine — the framework's scheduled spine (replaces the
+// per-binary prepare→upload→run loops).
+//
+// Three layers, each shared process-wide through one Engine instance:
+//
+//   1. Prepared-graph cache. The CPU-side pipeline (generate → clean →
+//      orient → CPU reference count) is the dominant end-to-end cost for
+//      small simulated kernels, and every figure bench used to repeat it per
+//      binary run. The engine keys it by (dataset, max_edges, seed,
+//      orientation policy) and runs it once per graph per process.
+//
+//   2. Device-graph pool. A DeviceGraph is immutable once uploaded (kernels
+//      only load from it; all stores go to per-run scratch), so one resident
+//      upload per prepared graph serves every algorithm. Per-run scratch
+//      lives on a separate Device based at the resident device's post-upload
+//      mark, which reproduces the exact address stream of the old
+//      fresh-device-per-run path — simulator metrics are unchanged.
+//
+//   3. Cell scheduler. Independent (algorithm × dataset) cells run as tasks
+//      over a small worker pool; the launcher's inner OpenMP threads are
+//      divided among workers so the host is not oversubscribed. Every cell
+//      is deterministic in isolation (integer counters, per-block cycle
+//      accounting), so KernelStats from a parallel sweep are bit-identical
+//      to a serial one — tested, and the property later scaling work leans
+//      on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "framework/options.hpp"
+#include "framework/registry.hpp"
+#include "framework/runner.hpp"
+
+namespace tcgpu::framework {
+
+/// Cache key of one prepared graph. Two prepares with the same key are the
+/// same graph; any differing field reruns the pipeline.
+struct PrepareKey {
+  std::string dataset;
+  std::uint64_t max_edges = 0;
+  std::uint64_t seed = 0;
+  graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree;
+
+  auto operator<=>(const PrepareKey&) const = default;
+};
+
+/// Monotonic work counters, exposed so tests can assert the once-per-graph
+/// guarantees (prepares == distinct graphs, uploads == distinct DAGs).
+struct EngineCounters {
+  std::uint64_t prepares = 0;      ///< CPU pipeline executions (cache misses)
+  std::uint64_t prepare_hits = 0;  ///< prepares served from the cache
+  std::uint64_t uploads = 0;       ///< DAG uploads (pool misses)
+  std::uint64_t upload_hits = 0;   ///< runs served by a resident DeviceGraph
+  std::uint64_t cells = 0;         ///< algorithm runs completed
+};
+
+/// One dataset of a sweep: the prepared graph and one outcome per algorithm
+/// (registry order).
+struct SweepRow {
+  std::shared_ptr<const PreparedGraph> graph;
+  std::vector<RunOutcome> outcomes;
+
+  bool all_valid() const {
+    for (const auto& out : outcomes) {
+      if (!out.valid) return false;
+    }
+    return true;
+  }
+};
+
+class Engine {
+ public:
+  struct Config {
+    simt::GpuSpec spec = simt::GpuSpec::v100();
+    std::uint64_t max_edges = 100'000;  ///< per-dataset edge cap (0 = none)
+    std::uint64_t seed = 42;
+    graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree;
+    std::vector<std::string> datasets;  ///< sweep selection; empty = all 19
+    std::size_t workers = 1;            ///< parallel cells; 0 = auto, 1 = serial
+  };
+
+  Engine() : Engine(Config{}) {}
+  explicit Engine(Config cfg);
+  /// Spec / cap / seed / selection / workers from the parsed CLI flags.
+  explicit Engine(const BenchOptions& opt);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  using GraphHandle = std::shared_ptr<const PreparedGraph>;
+
+  /// Prepares one of the paper's datasets through the cache (runs the
+  /// generate/clean/orient/reference pipeline at most once per key).
+  GraphHandle prepare(const gen::DatasetSpec& spec);
+  /// Same, by registry name; throws std::out_of_range on unknown names.
+  GraphHandle prepare(const std::string& dataset_name);
+  /// Prepares an arbitrary raw edge list (loader output, custom generators).
+  /// Uncached — raw inputs have no stable identity — but the returned handle
+  /// still shares its device-resident DAG across runs.
+  GraphHandle prepare_raw(std::string name, const graph::Coo& raw);
+
+  /// Runs one algorithm against the graph's pooled device image and
+  /// validates the count. Thread-safe; a count mismatch latches all_valid().
+  RunOutcome run(const tc::TriangleCounter& algo, const GraphHandle& graph);
+  /// Same, by registry name.
+  RunOutcome run(const std::string& algorithm, const GraphHandle& graph);
+
+  /// Runs every (selected dataset × algorithm) cell, parallel across cells
+  /// when configured. Progress lines go to `progress` (pass std::cerr),
+  /// grouped per dataset in paper order regardless of completion order.
+  std::vector<SweepRow> sweep(const std::vector<AlgorithmEntry>& algorithms,
+                              std::ostream& progress);
+
+  /// False once any run's count mismatched the CPU reference.
+  bool all_valid() const;
+  /// Shell convention: 0 while all counts validated, 1 otherwise.
+  int exit_code() const { return all_valid() ? 0 : 1; }
+
+  EngineCounters counters() const;
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct CacheEntry;  ///< latched prepared graph (one pipeline run per key)
+  struct Resident;    ///< pooled device + uploaded DeviceGraph
+
+  GraphHandle prepare_cached(const PrepareKey& key, const gen::DatasetSpec& spec);
+  std::shared_ptr<Resident> acquire_resident(const GraphHandle& graph);
+
+  Config cfg_;
+
+  mutable std::mutex cache_mu_;  ///< guards cache_ map shape
+  std::map<PrepareKey, std::shared_ptr<CacheEntry>> cache_;
+
+  mutable std::mutex pool_mu_;  ///< guards pool_ map shape
+  std::map<const PreparedGraph*, std::shared_ptr<Resident>> pool_;
+
+  mutable std::mutex stats_mu_;  ///< guards counters_ and all_valid_
+  EngineCounters counters_;
+  bool all_valid_ = true;
+};
+
+}  // namespace tcgpu::framework

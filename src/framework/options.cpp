@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "gen/paper_datasets.hpp"
+
 namespace tcgpu::framework {
 namespace {
 
@@ -37,6 +39,9 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
   if (const char* seed = std::getenv("TCGPU_SEED")) {
     opt.seed = parse_u64(seed, "TCGPU_SEED");
   }
+  if (const char* jobs = std::getenv("TCGPU_JOBS")) {
+    opt.jobs = static_cast<std::size_t>(parse_u64(jobs, "TCGPU_JOBS"));
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -44,6 +49,12 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       opt.max_edges = 0;
     } else if (arg == "--csv") {
       opt.csv = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--serial") {
+      opt.jobs = 1;
+    } else if (take_flag(arg, "jobs", &value)) {
+      opt.jobs = static_cast<std::size_t>(parse_u64(value, "jobs"));
     } else if (take_flag(arg, "max-edges", &value)) {
       opt.max_edges = parse_u64(value, "max-edges");
     } else if (take_flag(arg, "seed", &value)) {
@@ -57,7 +68,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       std::stringstream ss(value);
       std::string item;
       while (std::getline(ss, item, ',')) {
-        if (!item.empty()) opt.datasets.push_back(item);
+        if (!item.empty()) {
+          gen::dataset_by_name(item);  // reject typos with exit 2, not an
+                                       // empty sweep that exits 0
+          opt.datasets.push_back(item);
+        }
       }
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through untouched

@@ -16,11 +16,14 @@ struct BenchOptions {
   std::uint64_t max_edges = 100'000;  ///< per-dataset edge cap (0 = no cap)
   std::uint64_t seed = 42;
   bool csv = false;                  ///< machine-readable output
+  bool json = false;                 ///< JSON output (wins over csv)
   std::string gpu = "v100";          ///< "v100" | "rtx4090"
   std::vector<std::string> datasets; ///< empty = all 19
+  std::size_t jobs = 0;              ///< engine cell workers; 0 = auto, 1 = serial
 
-  /// Parses argv (flags: --max-edges=N --seed=N --full --csv --gpu=NAME
-  /// --datasets=a,b,c) with TCGPU_EDGE_CAP / TCGPU_SEED as fallbacks.
+  /// Parses argv (flags: --max-edges=N --seed=N --full --csv --json
+  /// --gpu=NAME --datasets=a,b,c --jobs=N --serial) with TCGPU_EDGE_CAP /
+  /// TCGPU_SEED / TCGPU_JOBS as fallbacks.
   /// Throws std::invalid_argument on unknown flags (so typos fail loudly).
   static BenchOptions parse(int argc, char** argv);
 };

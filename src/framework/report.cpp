@@ -1,0 +1,29 @@
+#include "framework/report.hpp"
+
+#include <ostream>
+
+namespace tcgpu::framework {
+
+OutputFormat output_format(const BenchOptions& opt) {
+  if (opt.json) return OutputFormat::kJson;
+  if (opt.csv) return OutputFormat::kCsv;
+  return OutputFormat::kAligned;
+}
+
+void emit(const ResultTable& table, const BenchOptions& opt, std::ostream& os,
+          const std::string& title) {
+  switch (output_format(opt)) {
+    case OutputFormat::kCsv:
+      table.print_csv(os);
+      break;
+    case OutputFormat::kJson:
+      table.print_json(os);
+      break;
+    case OutputFormat::kAligned:
+      if (!title.empty()) os << "== " << title << " ==\n";
+      table.print_aligned(os);
+      break;
+  }
+}
+
+}  // namespace tcgpu::framework

@@ -1,0 +1,25 @@
+// The one structured results sink behind every bench binary: a ResultTable
+// (rows the figures plot) rendered as aligned text, CSV or JSON according
+// to the harness options — so no main carries its own format switch.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "framework/options.hpp"
+#include "framework/table.hpp"
+
+namespace tcgpu::framework {
+
+enum class OutputFormat { kAligned, kCsv, kJson };
+
+/// Format selected by the CLI flags (--json wins over --csv).
+OutputFormat output_format(const BenchOptions& opt);
+
+/// Renders `table` to `os` in the selected format. `title` is printed as a
+/// "== title ==" heading before aligned tables and skipped for the
+/// machine-readable formats (keeps CSV/JSON parseable).
+void emit(const ResultTable& table, const BenchOptions& opt, std::ostream& os,
+          const std::string& title = {});
+
+}  // namespace tcgpu::framework

@@ -1,7 +1,7 @@
-#include <stdexcept>
 #include "framework/runner.hpp"
 
 #include <chrono>
+#include <stdexcept>
 
 #include "graph/builder.hpp"
 
@@ -32,21 +32,26 @@ simt::GpuSpec spec_for(const std::string& gpu_name) {
   throw std::invalid_argument("unknown GPU preset: " + gpu_name);
 }
 
-RunOutcome run_algorithm(const tc::TriangleCounter& algo, const PreparedGraph& pg,
+RunOutcome run_on_device(const tc::TriangleCounter& algo, const PreparedGraph& pg,
+                         const tc::DeviceGraph& dg, simt::Device& scratch,
                          const simt::GpuSpec& spec) {
   RunOutcome out;
   out.algorithm = algo.name();
   out.dataset = pg.name;
 
-  simt::Device dev;
-  const tc::DeviceGraph dg = tc::DeviceGraph::upload(dev, pg.dag);
-
   const auto t0 = std::chrono::steady_clock::now();
-  out.result = algo.count(dev, spec, dg);
+  out.result = algo.count(scratch, spec, dg);
   const auto t1 = std::chrono::steady_clock::now();
   out.host_seconds = std::chrono::duration<double>(t1 - t0).count();
   out.valid = out.result.triangles == pg.reference_triangles;
   return out;
+}
+
+RunOutcome run_algorithm(const tc::TriangleCounter& algo, const PreparedGraph& pg,
+                         const simt::GpuSpec& spec) {
+  simt::Device dev;
+  const tc::DeviceGraph dg = tc::DeviceGraph::upload(dev, pg.dag);
+  return run_on_device(algo, pg, dg, dev, spec);
 }
 
 }  // namespace tcgpu::framework

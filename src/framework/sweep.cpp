@@ -1,35 +1,12 @@
 #include "framework/sweep.hpp"
 
-#include <ostream>
-
 namespace tcgpu::framework {
 
 std::vector<SweepRow> run_sweep(const BenchOptions& opt,
                                 const std::vector<AlgorithmEntry>& algorithms,
                                 std::ostream& progress) {
-  const simt::GpuSpec spec = spec_for(opt.gpu);
-  std::vector<SweepRow> rows;
-  for (const auto& ds : gen::paper_datasets()) {
-    if (!opt.datasets.empty()) {
-      bool selected = false;
-      for (const auto& want : opt.datasets) selected |= want == ds.name;
-      if (!selected) continue;
-    }
-    SweepRow row;
-    row.graph = prepare_dataset(ds, opt.max_edges, opt.seed);
-    progress << "[sweep] " << ds.name << ": V=" << row.graph.stats.num_vertices
-             << " E=" << row.graph.stats.num_undirected_edges
-             << " tri=" << row.graph.reference_triangles << '\n';
-    for (const auto& entry : algorithms) {
-      const auto algo = entry.make();
-      row.outcomes.push_back(run_algorithm(*algo, row.graph, spec));
-      const auto& out = row.outcomes.back();
-      progress << "  " << entry.name << ": " << out.result.total.time_ms << " ms"
-               << (out.valid ? "" : "  ** COUNT MISMATCH **") << '\n';
-    }
-    rows.push_back(std::move(row));
-  }
-  return rows;
+  Engine engine(opt);
+  return engine.sweep(algorithms, progress);
 }
 
 }  // namespace tcgpu::framework

@@ -1,21 +1,17 @@
-// Shared dataset x algorithm sweep used by the figure-regeneration benches
-// (Figures 11, 12, 13 and 15 all plot series over the same 19-dataset
-// x-axis).
+// Legacy entry point of the dataset × algorithm sweep. The sweep itself now
+// lives in framework::Engine (prepared-graph cache, device-graph pool, cell
+// scheduler); this wrapper runs a throwaway engine for callers that need a
+// single serial sweep. New code should construct an Engine and use
+// Engine::sweep so caching, validation state and exit codes carry across
+// calls.
 #pragma once
 
 #include <iosfwd>
 #include <vector>
 
-#include "framework/options.hpp"
-#include "framework/registry.hpp"
-#include "framework/runner.hpp"
+#include "framework/engine.hpp"
 
 namespace tcgpu::framework {
-
-struct SweepRow {
-  PreparedGraph graph;                ///< prepared dataset (stats + reference)
-  std::vector<RunOutcome> outcomes;   ///< one per algorithm, registry order
-};
 
 /// Prepares every selected dataset (subject to the edge cap) and runs every
 /// given algorithm on it, validating each count. Progress lines go to

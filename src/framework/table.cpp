@@ -49,6 +49,34 @@ void ResultTable::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) line(row);
 }
 
+void ResultTable::print_json(std::ostream& os) const {
+  auto quoted = [&](const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c;
+      }
+    }
+    os << '"';
+  };
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ", ";
+      quoted(columns_[c]);
+      os << ": ";
+      quoted(rows_[r][c]);
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 std::string ResultTable::fmt(double v, int prec) {
   std::ostringstream ss;
   ss << std::fixed << std::setprecision(prec) << v;

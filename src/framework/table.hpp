@@ -18,6 +18,8 @@ class ResultTable {
 
   void print_aligned(std::ostream& os) const;
   void print_csv(std::ostream& os) const;
+  /// JSON array of objects, one per row, keyed by column name.
+  void print_json(std::ostream& os) const;
 
   std::size_t num_rows() const { return rows_.size(); }
   const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }

@@ -43,6 +43,7 @@ struct KernelMetrics {
   }
 
   KernelMetrics& operator+=(const KernelMetrics& o);
+  bool operator==(const KernelMetrics&) const = default;
 };
 
 /// Result of one simulated launch: counters plus modeled kernel time.
@@ -55,6 +56,9 @@ struct KernelStats {
     time_ms += o.time_ms;  // sequential kernel launches add up
     return *this;
   }
+  /// Exact (bit-level for time_ms) equality — the determinism contract the
+  /// engine's parallel cell scheduler is tested against.
+  bool operator==(const KernelStats&) const = default;
 };
 
 }  // namespace tcgpu::simt

@@ -1,0 +1,191 @@
+#include "framework/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "framework/sweep.hpp"
+#include "gen/er.hpp"
+
+namespace tcgpu::framework {
+namespace {
+
+Engine::Config small_config(std::size_t workers = 1) {
+  Engine::Config cfg;
+  cfg.max_edges = 2'000;
+  cfg.seed = 42;
+  cfg.workers = workers;
+  return cfg;
+}
+
+TEST(EngineCache, PrepareRunsPipelineOncePerKey) {
+  Engine engine(small_config());
+  const auto a = engine.prepare("As-Caida");
+  const auto b = engine.prepare("As-Caida");
+  EXPECT_EQ(a.get(), b.get());  // the same PreparedGraph, not a copy
+  const auto c = engine.counters();
+  EXPECT_EQ(c.prepares, 1u);
+  EXPECT_EQ(c.prepare_hits, 1u);
+
+  engine.prepare("Wiki-Talk");  // different dataset -> different key
+  EXPECT_EQ(engine.counters().prepares, 2u);
+}
+
+TEST(EngineCache, KeyIsSensitiveToEveryField) {
+  const PrepareKey base{"As-Caida", 2'000, 42, graph::OrientationPolicy::kByDegree};
+  PrepareKey k = base;
+  EXPECT_EQ(k, base);
+  k.dataset = "Wiki-Talk";
+  EXPECT_NE(k, base);
+  k = base;
+  k.max_edges = 2'001;
+  EXPECT_NE(k, base);
+  k = base;
+  k.seed = 43;
+  EXPECT_NE(k, base);
+  k = base;
+  k.policy = graph::OrientationPolicy::kById;
+  EXPECT_NE(k, base);
+}
+
+TEST(EngineCache, DifferentSeedsPrepareDifferentGraphs) {
+  auto cfg_a = small_config();
+  auto cfg_b = small_config();
+  cfg_b.seed = 7;
+  Engine ea(cfg_a), eb(cfg_b);
+  const auto ga = ea.prepare("As-Caida");
+  const auto gb = eb.prepare("As-Caida");
+  EXPECT_NE(ga->dag.col(), gb->dag.col());  // different generated edges
+}
+
+TEST(EnginePool, DeviceGraphIsUploadedOnceAcrossAlgorithms) {
+  Engine engine(small_config());
+  const auto pg = engine.prepare("As-Caida");
+  const auto polak = engine.run("Polak", pg);
+  const auto trust = engine.run("TRUST", pg);
+  EXPECT_TRUE(polak.valid);
+  EXPECT_TRUE(trust.valid);
+  const auto c = engine.counters();
+  EXPECT_EQ(c.uploads, 1u);      // one resident DAG serves both runs
+  EXPECT_EQ(c.upload_hits, 1u);  // the second run reused it
+  EXPECT_EQ(c.cells, 2u);
+}
+
+TEST(EnginePool, PooledRunMatchesFreshDeviceRunBitIdentically) {
+  // The pool bases per-run scratch at the resident device's mark, so the
+  // simulated address stream — and therefore every metric and the modeled
+  // time — must equal the legacy fresh-device-per-run path exactly.
+  Engine engine(small_config());
+  const auto pg = engine.prepare("As-Caida");
+  engine.run("TRUST", pg);  // warm the pool; TRUST scratch must not disturb
+  const auto pooled = engine.run("GroupTC", pg);
+  const auto fresh =
+      run_algorithm(*make_algorithm("GroupTC"), *pg, engine.config().spec);
+  EXPECT_EQ(pooled.result.triangles, fresh.result.triangles);
+  EXPECT_EQ(pooled.result.total, fresh.result.total);
+  ASSERT_EQ(pooled.result.launches.size(), fresh.result.launches.size());
+  for (std::size_t i = 0; i < pooled.result.launches.size(); ++i) {
+    EXPECT_EQ(pooled.result.launches[i].second, fresh.result.launches[i].second);
+  }
+}
+
+TEST(EngineSweep, PreparesAndUploadsEachDatasetExactlyOnce) {
+  auto cfg = small_config();
+  cfg.datasets = {"As-Caida", "Wiki-Talk", "RoadNet-CA"};
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    cfg.workers = workers;
+    Engine engine(cfg);
+    std::ostringstream progress;
+    const auto rows = engine.sweep(all_algorithms(), progress);
+    ASSERT_EQ(rows.size(), 3u);
+    const std::size_t cells = rows.size() * all_algorithms().size();
+    const auto c = engine.counters();
+    // The exactly-once guarantees: the CPU pipeline ran once per graph and
+    // each DAG went to the device once, serial or parallel.
+    EXPECT_EQ(c.prepares, 3u) << "workers=" << workers;
+    EXPECT_EQ(c.uploads, 3u) << "workers=" << workers;
+    EXPECT_EQ(c.upload_hits, cells - 3u) << "workers=" << workers;
+    EXPECT_EQ(c.cells, cells) << "workers=" << workers;
+    EXPECT_TRUE(engine.all_valid());
+    EXPECT_EQ(engine.exit_code(), 0);
+  }
+}
+
+TEST(EngineSweep, ParallelCellsAreBitIdenticalToSerial) {
+  auto serial_cfg = small_config(1);
+  auto parallel_cfg = small_config(4);
+  serial_cfg.datasets = {"As-Caida", "Wiki-Talk"};
+  parallel_cfg.datasets = serial_cfg.datasets;
+
+  Engine serial(serial_cfg), parallel(parallel_cfg);
+  std::ostringstream serial_log, parallel_log;
+  const auto s = serial.sweep(headline_algorithms(), serial_log);
+  const auto p = parallel.sweep(headline_algorithms(), parallel_log);
+
+  ASSERT_EQ(s.size(), p.size());
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    EXPECT_EQ(s[r].graph->name, p[r].graph->name);
+    ASSERT_EQ(s[r].outcomes.size(), p[r].outcomes.size());
+    for (std::size_t c = 0; c < s[r].outcomes.size(); ++c) {
+      const auto& so = s[r].outcomes[c];
+      const auto& po = p[r].outcomes[c];
+      EXPECT_EQ(so.algorithm, po.algorithm);
+      EXPECT_EQ(so.result.triangles, po.result.triangles);
+      EXPECT_EQ(so.valid, po.valid);
+      // Bit-identical simulator stats, including the modeled time.
+      EXPECT_EQ(so.result.total, po.result.total);
+    }
+  }
+  // Same cells, same order, same text: the progress streams agree too.
+  EXPECT_EQ(serial_log.str(), parallel_log.str());
+}
+
+TEST(EngineValidation, CountMismatchLatchesAllValidAndExitCode) {
+  // An algorithm that is simply wrong: reports 0 triangles for any graph.
+  class WrongCounter final : public tc::TriangleCounter {
+   public:
+    std::string name() const override { return "Wrong"; }
+    tc::AlgoTraits traits() const override { return {"edge", "Merge", "fine", 0}; }
+    tc::AlgoResult count(simt::Device&, const simt::GpuSpec&,
+                         const tc::DeviceGraph&) const override {
+      return {};
+    }
+  };
+
+  Engine engine(small_config());
+  const auto pg = engine.prepare_raw("er", gen::generate_er(200, 1'200, 3));
+  ASSERT_GT(pg->reference_triangles, 0u);
+  EXPECT_TRUE(engine.all_valid());
+  const auto out = engine.run(WrongCounter{}, pg);
+  EXPECT_FALSE(out.valid);
+  EXPECT_FALSE(engine.all_valid());
+  EXPECT_EQ(engine.exit_code(), 1);
+  // A later valid run must not clear the latch.
+  EXPECT_TRUE(engine.run("Polak", pg).valid);
+  EXPECT_FALSE(engine.all_valid());
+}
+
+TEST(EngineSweep, UnknownDatasetSelectionThrows) {
+  auto cfg = small_config();
+  cfg.datasets = {"As-Caida", "No-Such-Graph"};
+  Engine engine(cfg);
+  std::ostringstream progress;
+  EXPECT_THROW(engine.sweep(headline_algorithms(), progress), std::out_of_range);
+}
+
+TEST(EngineCompat, RunSweepWrapperStillServesLegacyCallers) {
+  BenchOptions opt;
+  opt.max_edges = 2'000;
+  opt.datasets = {"As-Caida"};
+  opt.jobs = 1;
+  std::vector<AlgorithmEntry> algos = {all_algorithms()[1]};  // Polak
+  std::ostringstream progress;
+  const auto rows = run_sweep(opt, algos, progress);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].graph->name, "As-Caida");
+  EXPECT_TRUE(rows[0].all_valid());
+}
+
+}  // namespace
+}  // namespace tcgpu::framework

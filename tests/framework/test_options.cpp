@@ -20,6 +20,7 @@ class OptionsTest : public ::testing::Test {
   void SetUp() override {
     ::unsetenv("TCGPU_EDGE_CAP");
     ::unsetenv("TCGPU_SEED");
+    ::unsetenv("TCGPU_JOBS");
   }
 };
 
@@ -48,6 +49,27 @@ TEST_F(OptionsTest, FullDisablesCap) {
   EXPECT_EQ(parse({"--full"}).max_edges, 0u);
 }
 
+TEST_F(OptionsTest, SchedulerAndOutputDefaults) {
+  const auto opt = parse({});
+  EXPECT_EQ(opt.jobs, 0u);  // auto
+  EXPECT_FALSE(opt.json);
+}
+
+TEST_F(OptionsTest, ParsesJobsSerialAndJson) {
+  EXPECT_EQ(parse({"--jobs=3"}).jobs, 3u);
+  EXPECT_EQ(parse({"--serial"}).jobs, 1u);
+  EXPECT_TRUE(parse({"--json"}).json);
+  // --serial after --jobs wins (last flag, as elsewhere).
+  EXPECT_EQ(parse({"--jobs=3", "--serial"}).jobs, 1u);
+}
+
+TEST_F(OptionsTest, JobsEnvironmentFallback) {
+  ::setenv("TCGPU_JOBS", "2", 1);
+  EXPECT_EQ(parse({}).jobs, 2u);
+  EXPECT_EQ(parse({"--jobs=5"}).jobs, 5u);  // flag beats env
+  ::unsetenv("TCGPU_JOBS");
+}
+
 TEST_F(OptionsTest, EnvironmentFallbacks) {
   ::setenv("TCGPU_EDGE_CAP", "777", 1);
   ::setenv("TCGPU_SEED", "5", 1);
@@ -71,6 +93,12 @@ TEST_F(OptionsTest, BadNumbersFailLoudly) {
 
 TEST_F(OptionsTest, BadGpuFailsLoudly) {
   EXPECT_THROW(parse({"--gpu=tpu"}), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, UnknownDatasetFailsLoudly) {
+  // A typo'd selection must not become an empty sweep that exits 0.
+  EXPECT_THROW(parse({"--datasets=As-Ciada"}), std::out_of_range);
+  EXPECT_THROW(parse({"--datasets=As-Caida,Nope"}), std::out_of_range);
 }
 
 TEST_F(OptionsTest, GoogleBenchmarkFlagsPassThrough) {

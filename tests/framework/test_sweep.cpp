@@ -18,8 +18,8 @@ TEST(Sweep, RunsSelectedDatasetsAgainstSelectedAlgorithms) {
   std::ostringstream progress;
   const auto rows = run_sweep(opt, algos, progress);
   ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0].graph.name, "As-Caida");
-  EXPECT_EQ(rows[1].graph.name, "RoadNet-CA");
+  EXPECT_EQ(rows[0].graph->name, "As-Caida");
+  EXPECT_EQ(rows[1].graph->name, "RoadNet-CA");
   for (const auto& row : rows) {
     ASSERT_EQ(row.outcomes.size(), 2u);
     for (const auto& out : row.outcomes) {
@@ -41,8 +41,8 @@ TEST(Sweep, KeepsPaperDatasetOrder) {
   std::ostringstream progress;
   const auto rows = run_sweep(opt, algos, progress);
   ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0].graph.name, "As-Caida");  // registry order
-  EXPECT_EQ(rows[1].graph.name, "Wiki-Talk");
+  EXPECT_EQ(rows[0].graph->name, "As-Caida");  // registry order
+  EXPECT_EQ(rows[1].graph->name, "Wiki-Talk");
 }
 
 TEST(Sweep, EmptySelectionMeansAllNineteen) {

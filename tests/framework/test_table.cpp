@@ -23,6 +23,19 @@ TEST(ResultTable, CsvOutput) {
   EXPECT_EQ(os.str(), "name,value\nalpha,1\nbeta,2\n");
 }
 
+TEST(ResultTable, JsonOutput) {
+  ResultTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"be\"ta", "2"});
+  std::ostringstream os;
+  t.print_json(os);
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  {\"name\": \"alpha\", \"value\": \"1\"},\n"
+            "  {\"name\": \"be\\\"ta\", \"value\": \"2\"}\n"
+            "]\n");
+}
+
 TEST(ResultTable, AlignedOutputPadsColumns) {
   ResultTable t({"n", "value"});
   t.add_row({"longest-name", "7"});
