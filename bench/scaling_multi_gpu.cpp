@@ -1,0 +1,99 @@
+// Multi-GPU strong scaling of the ITC kernels on the simulated interconnect.
+//
+// Sweeps device count x partition strategy x dataset for all nine kernels:
+// each cell shards the prepared DAG (src/dist/), runs the unmodified kernel
+// on every shard, and reports the modeled parallel time (slowest device +
+// ghost scatter + count all-reduce), the speedup over the cached
+// single-device baseline, the load imbalance (max/mean device kernel time)
+// and the partition's replication cost.
+//
+// Defaults sweep N in {1, 2, 4, 8} and all three strategies; --gpus=N and
+// --partition=range|hash|2d pin one of either. A cell whose aggregated
+// count mismatches the CPU reference is flagged with '!' and fails the run.
+#include <iostream>
+
+#include "dist/runner.hpp"
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  const std::vector<std::uint32_t> device_counts =
+      opt.gpus ? std::vector<std::uint32_t>{opt.gpus}
+               : std::vector<std::uint32_t>{1, 2, 4, 8};
+  const std::vector<dist::PartitionStrategy> strategies =
+      opt.partition.empty()
+          ? dist::all_partition_strategies()
+          : std::vector<dist::PartitionStrategy>{
+                dist::partition_strategy_from_string(opt.partition)};
+
+  const auto& algos = framework::extended_algorithms();
+  framework::Engine engine(opt);
+
+  framework::ResultTable table(
+      {"dataset", "algorithm", "partition", "gpus", "device_ms", "comm_ms",
+       "total_ms", "speedup", "imbalance", "replication", "ghost_bytes",
+       "valid"});
+
+  bool all_valid = true;
+  for (const auto& ds : gen::paper_datasets()) {
+    if (!opt.datasets.empty()) {
+      bool selected = false;
+      for (const auto& want : opt.datasets) selected |= want == ds.name;
+      if (!selected) continue;
+    }
+    const auto graph = engine.prepare(ds.name);
+    std::cerr << "[scaling] " << graph->name << ": V=" << graph->stats.num_vertices
+              << " E=" << graph->stats.num_undirected_edges
+              << " tri=" << graph->reference_triangles << '\n';
+
+    for (const auto strategy : strategies) {
+      for (const std::uint32_t n : device_counts) {
+        dist::MultiDeviceRunner runner(
+            engine, {n, strategy, simt::InterconnectSpec::nvlink()});
+        for (const auto& entry : algos) {
+          const auto algo = entry.make();
+          const dist::MultiRunResult r = runner.run(*algo, graph);
+          all_valid &= r.valid;
+
+          std::cerr << "  " << r.algorithm << " " << to_string(strategy) << " x"
+                    << n << ": " << r.total_ms << " ms, speedup " << r.speedup
+                    << ", per-device ms [";
+          for (const auto& d : r.devices) {
+            std::cerr << (d.device ? " " : "") << d.stats.time_ms;
+          }
+          std::cerr << ']' << (r.valid ? "" : "  ** COUNT MISMATCH **") << '\n';
+
+          table.add_row({graph->name, r.algorithm, to_string(strategy),
+                         std::to_string(n),
+                         framework::ResultTable::fmt(r.device_ms, 4),
+                         framework::ResultTable::fmt(r.comm_ms, 4),
+                         framework::ResultTable::fmt(r.total_ms, 4),
+                         framework::ResultTable::fmt(r.speedup, 2),
+                         framework::ResultTable::fmt(r.load_imbalance, 2),
+                         framework::ResultTable::fmt(
+                             r.partition.replication_factor, 2),
+                         std::to_string(r.ghost_exchange.bytes),
+                         r.valid ? "yes" : "NO"});
+        }
+      }
+    }
+  }
+
+  framework::emit(table, opt, std::cout,
+                  "Multi-GPU scaling (modeled nvlink), " + opt.gpu +
+                      ", edge cap " + std::to_string(opt.max_edges));
+  if (!all_valid) {
+    std::cerr << "WARNING: at least one aggregated count mismatched the CPU "
+                 "reference\n";
+  }
+  return all_valid ? 0 : 1;
+}

@@ -64,6 +64,18 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
         throw std::invalid_argument("unknown --gpu (use v100 or rtx4090)");
       }
       opt.gpu = value;
+    } else if (take_flag(arg, "gpus", &value)) {
+      const std::uint64_t n = parse_u64(value, "gpus");
+      if (n < 1 || n > 64) {
+        throw std::invalid_argument("--gpus must be in [1, 64], got " + value);
+      }
+      opt.gpus = static_cast<std::uint32_t>(n);
+    } else if (take_flag(arg, "partition", &value)) {
+      if (value != "range" && value != "hash" && value != "2d") {
+        throw std::invalid_argument("unknown --partition '" + value +
+                                    "' (use range, hash or 2d)");
+      }
+      opt.partition = value;
     } else if (take_flag(arg, "datasets", &value)) {
       std::stringstream ss(value);
       std::string item;

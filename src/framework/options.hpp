@@ -21,9 +21,16 @@ struct BenchOptions {
   std::vector<std::string> datasets; ///< empty = all 19
   std::size_t jobs = 0;              ///< engine cell workers; 0 = auto, 1 = serial
 
+  /// Multi-GPU benches only (src/dist/). 0 = sweep the default device
+  /// counts; an explicit --gpus=N (1..64) runs just that N.
+  std::uint32_t gpus = 0;
+  /// "" = sweep all partition strategies; otherwise "range" | "hash" | "2d".
+  std::string partition;
+
   /// Parses argv (flags: --max-edges=N --seed=N --full --csv --json
-  /// --gpu=NAME --datasets=a,b,c --jobs=N --serial) with TCGPU_EDGE_CAP /
-  /// TCGPU_SEED / TCGPU_JOBS as fallbacks.
+  /// --gpu=NAME --datasets=a,b,c --jobs=N --serial --gpus=N
+  /// --partition=range|hash|2d) with TCGPU_EDGE_CAP / TCGPU_SEED /
+  /// TCGPU_JOBS as fallbacks.
   /// Throws std::invalid_argument on unknown flags (so typos fail loudly).
   static BenchOptions parse(int argc, char** argv);
 };

@@ -22,4 +22,20 @@ GpuSpec GpuSpec::rtx4090() {
   return s;
 }
 
+InterconnectSpec InterconnectSpec::nvlink() {
+  InterconnectSpec s;
+  s.name = "nvlink";
+  s.peer_bandwidth_gbps = 25.0;
+  s.latency_us = 1.9;
+  return s;
+}
+
+InterconnectSpec InterconnectSpec::pcie3() {
+  InterconnectSpec s;
+  s.name = "pcie3";
+  s.peer_bandwidth_gbps = 12.0;  // achieved, not the 15.75 theoretical
+  s.latency_us = 10.0;
+  return s;
+}
+
 }  // namespace tcgpu::simt

@@ -53,4 +53,25 @@ struct GpuSpec {
   static GpuSpec rtx4090();
 };
 
+/// Inter-device link model for multi-GPU execution (src/dist/). Transfers
+/// are counted in bytes and messages by the Interconnect cost model and
+/// converted to milliseconds here, the same counted-quantity philosophy as
+/// the kernel cost model above.
+struct InterconnectSpec {
+  std::string name = "nvlink";
+  double peer_bandwidth_gbps = 25.0;  ///< per peer pair, per direction
+  double latency_us = 1.9;            ///< fixed cost per message
+
+  /// Milliseconds to move `bytes` between one device pair as one message.
+  double transfer_ms(std::uint64_t bytes) const {
+    return latency_us * 1e-3 +
+           static_cast<double>(bytes) / (peer_bandwidth_gbps * 1e9) * 1e3;
+  }
+
+  /// NVLink 2.0 as on the paper's V100 testbed: 25 GB/s per link direction.
+  static InterconnectSpec nvlink();
+  /// PCIe 3.0 x16: ~12 GB/s achieved, an order of magnitude more latency.
+  static InterconnectSpec pcie3();
+};
+
 }  // namespace tcgpu::simt

@@ -1,0 +1,43 @@
+#include "simt/interconnect.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tcgpu::simt {
+
+TransferStats Interconnect::scatter(
+    const std::vector<std::uint64_t>& per_device_bytes,
+    const std::vector<std::uint64_t>& per_device_messages) const {
+  if (per_device_bytes.size() != num_devices_ ||
+      per_device_messages.size() != num_devices_) {
+    throw std::invalid_argument("Interconnect::scatter: per-device vectors must "
+                                "have one entry per device");
+  }
+  TransferStats t;
+  for (std::uint32_t d = 0; d < num_devices_; ++d) {
+    t.bytes += per_device_bytes[d];
+    t.messages += per_device_messages[d];
+    // Device d serializes its incoming messages; devices receive in parallel.
+    const double recv_ms =
+        static_cast<double>(per_device_messages[d]) * spec_.latency_us * 1e-3 +
+        static_cast<double>(per_device_bytes[d]) /
+            (spec_.peer_bandwidth_gbps * 1e9) * 1e3;
+    t.time_ms = std::max(t.time_ms, recv_ms);
+  }
+  return t;
+}
+
+TransferStats Interconnect::all_reduce(std::uint64_t bytes_per_device) const {
+  TransferStats t;
+  if (num_devices_ <= 1) return t;  // nothing to exchange
+  // Binomial reduce tree then broadcast tree: N-1 payload moves each way,
+  // ceil(log2 N) latency-bound steps each way on the critical path.
+  std::uint32_t steps = 0;
+  for (std::uint32_t span = 1; span < num_devices_; span <<= 1) ++steps;
+  t.bytes = 2ull * (num_devices_ - 1) * bytes_per_device;
+  t.messages = 2ull * (num_devices_ - 1);
+  t.time_ms = 2.0 * steps * spec_.transfer_ms(bytes_per_device);
+  return t;
+}
+
+}  // namespace tcgpu::simt

@@ -1,0 +1,62 @@
+// Modeled multi-GPU interconnect (NVLink / PCIe).
+//
+// The single-device simulator derives kernel time from counted events; the
+// interconnect does the same for inter-device traffic: the dist:: layer
+// counts the bytes each shard has to receive (its ghost/proxy adjacency
+// rows) and the bytes of the final count reduction, and this model converts
+// those counts into transfer time under a latency + bandwidth link model.
+// Nothing is sampled or measured — scaling curves come from counted
+// quantities exactly like the kernel metrics.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "simt/gpu_spec.hpp"
+
+namespace tcgpu::simt {
+
+/// One modeled transfer aggregate: how much moved, in how many messages,
+/// and the modeled wall time on the critical path.
+struct TransferStats {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+  double time_ms = 0.0;
+
+  TransferStats& operator+=(const TransferStats& o) {
+    bytes += o.bytes;
+    messages += o.messages;
+    time_ms += o.time_ms;  // sequential stages add up
+    return *this;
+  }
+  bool operator==(const TransferStats&) const = default;
+};
+
+class Interconnect {
+ public:
+  Interconnect(InterconnectSpec spec, std::uint32_t num_devices)
+      : spec_(std::move(spec)), num_devices_(num_devices) {}
+
+  const InterconnectSpec& spec() const { return spec_; }
+  std::uint32_t num_devices() const { return num_devices_; }
+
+  /// Shard/ghost distribution: per_device_bytes[d] is what device d must
+  /// receive from peers, split into per_device_messages[d] point-to-point
+  /// messages (one per source peer). Devices receive in parallel, each
+  /// serializing its own incoming messages, so the modeled time is the
+  /// slowest device's receive time.
+  TransferStats scatter(const std::vector<std::uint64_t>& per_device_bytes,
+                        const std::vector<std::uint64_t>& per_device_messages) const;
+
+  /// All-reduce of one `bytes_per_device` payload (the per-device triangle
+  /// counts): modeled as a reduce + broadcast binomial tree, 2*ceil(log2 N)
+  /// latency-bound steps moving 2*(N-1) payloads in total.
+  TransferStats all_reduce(std::uint64_t bytes_per_device) const;
+
+ private:
+  InterconnectSpec spec_;
+  std::uint32_t num_devices_;
+};
+
+}  // namespace tcgpu::simt

@@ -25,12 +25,21 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
 
   const std::uint32_t words = (g.num_vertices + 31) / 32;
 
+  // Sharded images restrict the vertex iteration to the owned anchor list
+  // (one metered indirection, as TRUST pays for its vertex lists); whole
+  // graphs keep the direct item == vertex mapping.
+  const std::uint64_t items = g.vertex_items();
+  auto anchor_of = [&g](simt::ThreadCtx& ctx, std::uint64_t item) {
+    return g.use_anchor_list ? ctx.load(g.anchors, item)
+                             : static_cast<std::uint32_t>(item);
+  };
+
   if (avg_degree > cfg_.block_threshold) {
     // ---- block per vertex ------------------------------------------------
     simt::LaunchConfig cfg;
     cfg.block = cfg_.block;
     cfg.group_size = cfg_.block;
-    cfg.grid = std::min<std::uint32_t>(pick_grid(spec, g.num_vertices, cfg.block, cfg.block),
+    cfg.grid = std::min<std::uint32_t>(pick_grid(spec, items, cfg.block, cfg.block),
                                        2 * spec.sm_count);
     const bool in_shared = words * 4ull <= spec.shared_mem_per_block;
     simt::DeviceBuffer<std::uint32_t> scratch;
@@ -39,7 +48,8 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
                                          "bisson_bitmap");
     }
 
-    auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+      const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u);
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
@@ -54,7 +64,8 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         }
       }
     };
-    auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+      const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u);
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
       std::uint64_t local = 0;
@@ -79,7 +90,8 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       }
       flush_count(ctx, counter, local);
     };
-    auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+      const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u);
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
@@ -94,7 +106,7 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       }
     };
 
-    auto stats = simt::launch_items<simt::NoState>(spec, cfg, g.num_vertices, set_bit,
+    auto stats = simt::launch_items<simt::NoState>(spec, cfg, items, set_bit,
                                                    probe, clear_bit);
     r.add_launch(in_shared ? "bisson_block_shared" : "bisson_block_global", stats);
   } else if (avg_degree > cfg_.warp_threshold) {
@@ -102,7 +114,7 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     simt::LaunchConfig cfg;
     cfg.block = cfg_.block;
     cfg.group_size = 32;
-    cfg.grid = std::min<std::uint32_t>(pick_grid(spec, g.num_vertices, 32, cfg.block),
+    cfg.grid = std::min<std::uint32_t>(pick_grid(spec, items, 32, cfg.block),
                                        spec.sm_count);
     const std::uint32_t warps = cfg.grid * (cfg.block / 32);
     auto scratch = dev.alloc<std::uint32_t>(static_cast<std::size_t>(warps) * words,
@@ -113,7 +125,8 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
              words;
     };
 
-    auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+      const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u);
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
@@ -121,7 +134,8 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         ctx.atomic_or(scratch, slot(ctx) + bit_word(v), bit_mask(v));
       }
     };
-    auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+      const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u);
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
       std::uint64_t local = 0;
@@ -136,7 +150,8 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       }
       flush_count(ctx, counter, local);
     };
-    auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+    auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+      const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u);
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
@@ -145,7 +160,7 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       }
     };
 
-    auto stats = simt::launch_items<simt::NoState>(spec, cfg, g.num_vertices, set_bit,
+    auto stats = simt::launch_items<simt::NoState>(spec, cfg, items, set_bit,
                                                    probe, clear_bit);
     r.add_launch("bisson_warp", stats);
   } else {
@@ -157,11 +172,12 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     simt::LaunchConfig cfg;
     cfg.block = cfg_.block;
     cfg.group_size = 1;
-    cfg.grid = pick_grid(spec, g.num_vertices, 1, cfg.block);
+    cfg.grid = pick_grid(spec, items, 1, cfg.block);
 
     auto stats = simt::launch_items<simt::NoState>(
-        spec, cfg, g.num_vertices,
-        [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+        spec, cfg, items,
+        [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+          const std::uint32_t u = anchor_of(ctx, item);
           const std::uint32_t ub = ctx.load(g.row_ptr, u);
           const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
           std::uint64_t local = 0;

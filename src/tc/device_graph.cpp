@@ -1,29 +1,64 @@
 #include "tc/device_graph.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace tcgpu::tc {
+namespace {
+
+/// Allocates and fills row_ptr/col and computes the degree bound — the part
+/// shared by the whole-graph and shard upload paths. Allocation order is
+/// part of the contract: scratch devices are based past these buffers.
+DeviceGraph upload_csr(simt::Device& dev, const graph::Csr& csr) {
+  DeviceGraph g;
+  g.num_vertices = csr.num_vertices();
+  g.row_ptr = dev.alloc<std::uint32_t>(csr.row_ptr().size(), "row_ptr");
+  std::copy(csr.row_ptr().begin(), csr.row_ptr().end(), g.row_ptr.host_data());
+  g.col = dev.alloc<std::uint32_t>(csr.col().size(), "col");
+  std::copy(csr.col().begin(), csr.col().end(), g.col.host_data());
+  for (graph::VertexId u = 0; u < g.num_vertices; ++u) {
+    g.max_out_degree = std::max(g.max_out_degree, csr.degree(u));
+  }
+  return g;
+}
+
+}  // namespace
 
 DeviceGraph DeviceGraph::upload(simt::Device& dev, const graph::Csr& dag) {
-  DeviceGraph g;
-  g.num_vertices = dag.num_vertices();
+  DeviceGraph g = upload_csr(dev, dag);
   g.num_edges = dag.num_edges();
-
-  g.row_ptr = dev.alloc<std::uint32_t>(dag.row_ptr().size(), "row_ptr");
-  std::copy(dag.row_ptr().begin(), dag.row_ptr().end(), g.row_ptr.host_data());
-  g.col = dev.alloc<std::uint32_t>(dag.col().size(), "col");
-  std::copy(dag.col().begin(), dag.col().end(), g.col.host_data());
-
   g.edge_u = dev.alloc<std::uint32_t>(g.num_edges, "edge_u");
   g.edge_v = dev.alloc<std::uint32_t>(g.num_edges, "edge_v");
   std::uint32_t e = 0;
   for (graph::VertexId u = 0; u < g.num_vertices; ++u) {
-    g.max_out_degree = std::max(g.max_out_degree, dag.degree(u));
     for (graph::VertexId v : dag.neighbors(u)) {
       g.edge_u.host_data()[e] = u;
       g.edge_v.host_data()[e] = v;
       ++e;
     }
+  }
+  return g;
+}
+
+DeviceGraph DeviceGraph::upload_shard(simt::Device& dev, const graph::Csr& csr,
+                                      std::span<const std::uint32_t> edge_u,
+                                      std::span<const std::uint32_t> edge_v,
+                                      std::span<const std::uint32_t> anchors,
+                                      bool use_anchor_list) {
+  if (edge_u.size() != edge_v.size()) {
+    throw std::invalid_argument("upload_shard: edge endpoint lists differ in size");
+  }
+  DeviceGraph g = upload_csr(dev, csr);
+  g.num_edges = static_cast<std::uint32_t>(edge_u.size());
+  g.edge_u = dev.alloc<std::uint32_t>(edge_u.size(), "edge_u");
+  std::copy(edge_u.begin(), edge_u.end(), g.edge_u.host_data());
+  g.edge_v = dev.alloc<std::uint32_t>(edge_v.size(), "edge_v");
+  std::copy(edge_v.begin(), edge_v.end(), g.edge_v.host_data());
+  if (use_anchor_list) {
+    g.use_anchor_list = true;
+    g.num_anchors = static_cast<std::uint32_t>(anchors.size());
+    g.anchors = dev.alloc<std::uint32_t>(anchors.size(), "anchors");
+    std::copy(anchors.begin(), anchors.end(), g.anchors.host_data());
   }
   return g;
 }

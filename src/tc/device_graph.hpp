@@ -4,9 +4,18 @@
 // (edge_u/edge_v, in CSR order — so consecutive edges share their source
 // vertex, the locality GroupTC's chunking exploits). All arrays are 32-bit,
 // as in the published CUDA implementations.
+//
+// Multi-GPU shards (src/dist/) use the same image with two twists: the edge
+// list holds only the shard's *owned* anchor edges (edge-iterator kernels
+// therefore count exactly the triangles anchored at them), and an optional
+// `anchors` work list names the shard's owned anchor vertices (vertex-
+// iterator kernels iterate it instead of [0, num_vertices), TRUST-vlist
+// style). Single-device images never set the anchor list, so their address
+// stream and metrics are untouched.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "graph/csr.hpp"
 #include "simt/device.hpp"
@@ -16,14 +25,37 @@ namespace tcgpu::tc {
 struct DeviceGraph {
   simt::DeviceBuffer<std::uint32_t> row_ptr;  ///< size V+1
   simt::DeviceBuffer<std::uint32_t> col;      ///< size E, sorted per row
-  simt::DeviceBuffer<std::uint32_t> edge_u;   ///< size E, CSR order
-  simt::DeviceBuffer<std::uint32_t> edge_v;   ///< size E
+  simt::DeviceBuffer<std::uint32_t> edge_u;   ///< owned edges, CSR order
+  simt::DeviceBuffer<std::uint32_t> edge_v;   ///< owned edges
   std::uint32_t num_vertices = 0;
-  std::uint32_t num_edges = 0;
+  std::uint32_t num_edges = 0;  ///< owned edge count (== CSR edges unsharded)
   std::uint32_t max_out_degree = 0;
+
+  /// Sharded images only: the owned anchor vertices vertex-iterator kernels
+  /// must restrict themselves to. Empty + false on single-device images.
+  simt::DeviceBuffer<std::uint32_t> anchors;
+  std::uint32_t num_anchors = 0;
+  bool use_anchor_list = false;
+
+  /// Work-list size for vertex-iterator kernels.
+  std::uint64_t vertex_items() const {
+    return use_anchor_list ? num_anchors : num_vertices;
+  }
 
   /// Uploads an oriented DAG (u < v for every edge; see graph::orient).
   static DeviceGraph upload(simt::Device& dev, const graph::Csr& dag);
+
+  /// Uploads one multi-GPU shard: `csr` carries full adjacency rows for every
+  /// vertex the shard must read (owned + ghost/proxy, global vertex ids;
+  /// other rows empty), `edge_u`/`edge_v` the owned anchor edges in CSR
+  /// order, `anchors` the owned anchor vertices. The allocation order
+  /// matches upload(), and when the shard is the whole graph
+  /// (use_anchor_list == false) the image is bit-identical to upload()'s.
+  static DeviceGraph upload_shard(simt::Device& dev, const graph::Csr& csr,
+                                  std::span<const std::uint32_t> edge_u,
+                                  std::span<const std::uint32_t> edge_v,
+                                  std::span<const std::uint32_t> anchors,
+                                  bool use_anchor_list);
 };
 
 }  // namespace tcgpu::tc

@@ -11,13 +11,16 @@ AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   simt::LaunchConfig cfg;
   cfg.block = cfg_.block;
   cfg.group_size = cfg_.block;
-  cfg.grid = pick_grid(spec, g.num_vertices, cfg.block, cfg.block);
+  cfg.grid = pick_grid(spec, g.vertex_items(), cfg.block, cfg.block);
 
   const std::uint32_t cache_cap = std::min<std::uint32_t>(
       cfg_.cache_entries, spec.shared_mem_per_block / sizeof(std::uint32_t) - 64);
 
   // Phase 1 — "Caching neighbors": stage min(d+(u), cache_cap) of N+(u).
-  auto stage = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+  auto stage = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+    const std::uint32_t u = g.use_anchor_list
+                                ? ctx.load(g.anchors, item)
+                                : static_cast<std::uint32_t>(item);
     const std::uint32_t ub = ctx.load(g.row_ptr, u);
     const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
     const std::uint32_t staged = std::min(ue - ub, cache_cap);
@@ -28,7 +31,10 @@ AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   };
 
   // Phase 2 — "Fine-grained search": Algorithm 1 of the paper.
-  auto search = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t u) {
+  auto search = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+    const std::uint32_t u = g.use_anchor_list
+                                ? ctx.load(g.anchors, item)
+                                : static_cast<std::uint32_t>(item);
     auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
     const std::uint32_t ub = ctx.load(g.row_ptr, u);     // col[u]
     const std::uint32_t ue = ctx.load(g.row_ptr, u + 1); // col[u+1]
@@ -80,7 +86,7 @@ AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   };
 
   auto stats =
-      simt::launch_items<simt::NoState>(spec, cfg, g.num_vertices, stage, search);
+      simt::launch_items<simt::NoState>(spec, cfg, g.vertex_items(), stage, search);
 
   AlgoResult r;
   r.triangles = counter.host_span()[0];

@@ -20,10 +20,17 @@ AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   AlgoResult r;
 
   // Degree-split classification (host preprocessing, as in the original).
+  // Sharded images classify only the owned anchor vertices — TRUST already
+  // feeds its kernels explicit vertex lists, so the shard restriction is
+  // purely a host-side filter.
   std::vector<std::uint32_t> big, mid;
   {
     const auto* rp = g.row_ptr.host_data();
-    for (std::uint32_t u = 0; u < g.num_vertices; ++u) {
+    const std::uint64_t items = g.vertex_items();
+    for (std::uint64_t i = 0; i < items; ++i) {
+      const std::uint32_t u =
+          g.use_anchor_list ? g.anchors.host_data()[i]
+                            : static_cast<std::uint32_t>(i);
       const std::uint32_t d = rp[u + 1] - rp[u];
       if (d < 2) continue;  // cannot pivot a triangle
       if (d > cfg_.block_threshold) {

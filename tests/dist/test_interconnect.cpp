@@ -1,0 +1,82 @@
+#include "simt/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tcgpu::simt {
+namespace {
+
+TEST(InterconnectSpec, PresetsMatchTheirLinkClasses) {
+  const auto nv = InterconnectSpec::nvlink();
+  EXPECT_EQ(nv.name, "nvlink");
+  EXPECT_DOUBLE_EQ(nv.peer_bandwidth_gbps, 25.0);
+  const auto pcie = InterconnectSpec::pcie3();
+  EXPECT_EQ(pcie.name, "pcie3");
+  // PCIe has both less bandwidth and more latency than NVLink.
+  EXPECT_LT(pcie.peer_bandwidth_gbps, nv.peer_bandwidth_gbps);
+  EXPECT_GT(pcie.latency_us, nv.latency_us);
+}
+
+TEST(InterconnectSpec, TransferTimeIsLatencyPlusBandwidthTerm) {
+  InterconnectSpec s;
+  s.peer_bandwidth_gbps = 10.0;  // 10 GB/s
+  s.latency_us = 5.0;
+  // 10 MB at 10 GB/s = 1 ms, plus 0.005 ms latency.
+  EXPECT_DOUBLE_EQ(s.transfer_ms(10'000'000), 1.005);
+  // Zero bytes still pays the message latency.
+  EXPECT_DOUBLE_EQ(s.transfer_ms(0), 0.005);
+}
+
+TEST(Interconnect, ScatterSumsTrafficAndTakesSlowestDevice) {
+  InterconnectSpec s;
+  s.peer_bandwidth_gbps = 1.0;  // 1 GB/s => 1 byte = 1e-6 ms
+  s.latency_us = 1.0;           // 1 message = 1e-3 ms
+  const Interconnect net(s, 3);
+  const TransferStats t = net.scatter({1'000'000, 2'000'000, 0}, {1, 2, 0});
+  EXPECT_EQ(t.bytes, 3'000'000u);
+  EXPECT_EQ(t.messages, 3u);
+  // Device 1 is slowest: 2 messages (0.002 ms) + 2 MB (2 ms).
+  EXPECT_DOUBLE_EQ(t.time_ms, 2.002);
+}
+
+TEST(Interconnect, ScatterRejectsWrongSizedVectors) {
+  const Interconnect net(InterconnectSpec::nvlink(), 4);
+  EXPECT_THROW(net.scatter({1, 2, 3}, {1, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(net.scatter({1, 2, 3, 4}, {1}), std::invalid_argument);
+}
+
+TEST(Interconnect, AllReduceIsFreeOnOneDevice) {
+  const Interconnect net(InterconnectSpec::nvlink(), 1);
+  EXPECT_EQ(net.all_reduce(8), TransferStats{});
+}
+
+TEST(Interconnect, AllReduceModelsBinomialTree) {
+  InterconnectSpec s;
+  s.peer_bandwidth_gbps = 1.0;
+  s.latency_us = 1.0;
+  // N = 4: reduce + broadcast move 2*(N-1) payloads; critical path is
+  // 2*ceil(log2 4) = 4 steps of one payload each.
+  const Interconnect net4(s, 4);
+  const TransferStats t4 = net4.all_reduce(1000);
+  EXPECT_EQ(t4.bytes, 6000u);
+  EXPECT_EQ(t4.messages, 6u);
+  EXPECT_DOUBLE_EQ(t4.time_ms, 4 * (1e-3 + 1000 * 1e-6));
+
+  // N = 8 adds one more level: 6 steps, 14 payload moves.
+  const Interconnect net8(s, 8);
+  const TransferStats t8 = net8.all_reduce(1000);
+  EXPECT_EQ(t8.bytes, 14'000u);
+  EXPECT_EQ(t8.messages, 14u);
+  EXPECT_DOUBLE_EQ(t8.time_ms, 6 * (1e-3 + 1000 * 1e-6));
+}
+
+TEST(TransferStats, AccumulatesSequentialStages) {
+  TransferStats a{100, 2, 0.5};
+  const TransferStats b{50, 1, 0.25};
+  a += b;
+  EXPECT_EQ(a, (TransferStats{150, 3, 0.75}));
+}
+
+}  // namespace
+}  // namespace tcgpu::simt

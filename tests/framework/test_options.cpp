@@ -101,6 +101,34 @@ TEST_F(OptionsTest, UnknownDatasetFailsLoudly) {
   EXPECT_THROW(parse({"--datasets=As-Caida,Nope"}), std::out_of_range);
 }
 
+TEST_F(OptionsTest, MultiGpuDefaultsMeanSweepEverything) {
+  const auto opt = parse({});
+  EXPECT_EQ(opt.gpus, 0u);          // 0 = sweep the default device counts
+  EXPECT_TRUE(opt.partition.empty());  // "" = all strategies
+}
+
+TEST_F(OptionsTest, ParsesGpusAndPartition) {
+  const auto opt = parse({"--gpus=4", "--partition=hash"});
+  EXPECT_EQ(opt.gpus, 4u);
+  EXPECT_EQ(opt.partition, "hash");
+  EXPECT_EQ(parse({"--partition=range"}).partition, "range");
+  EXPECT_EQ(parse({"--partition=2d"}).partition, "2d");
+  EXPECT_EQ(parse({"--gpus=1"}).gpus, 1u);
+  EXPECT_EQ(parse({"--gpus=64"}).gpus, 64u);
+}
+
+TEST_F(OptionsTest, GpusOutOfRangeFailsLoudly) {
+  EXPECT_THROW(parse({"--gpus=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--gpus=65"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--gpus=two"}), std::invalid_argument);
+}
+
+TEST_F(OptionsTest, BadPartitionFailsLoudly) {
+  EXPECT_THROW(parse({"--partition=random"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--partition="}), std::invalid_argument);
+  EXPECT_THROW(parse({"--partition=RANGE"}), std::invalid_argument);
+}
+
 TEST_F(OptionsTest, GoogleBenchmarkFlagsPassThrough) {
   EXPECT_NO_THROW(parse({"--benchmark_filter=BM_Merge"}));
 }

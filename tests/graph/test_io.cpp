@@ -85,6 +85,27 @@ TEST_F(IoTest, BinaryCsrRoundTrip) {
   EXPECT_EQ(g, read_binary_csr(path("g.csr")));
 }
 
+TEST_F(IoTest, BinaryCsrRoundTripsEmptyGraph) {
+  const Csr empty;  // V = 0, row_ptr = {0}
+  write_binary_csr(path("e.csr"), empty);
+  const Csr back = read_binary_csr(path("e.csr"));
+  EXPECT_EQ(back.num_vertices(), 0u);
+  EXPECT_EQ(back.num_edges(), 0u);
+  EXPECT_EQ(empty, back);
+}
+
+TEST_F(IoTest, BinaryCsrRoundTripsSingleEdge) {
+  Coo g;
+  g.num_vertices = 2;
+  g.edges = {{0, 1}};
+  const Csr csr = build_undirected_csr(clean_edges(g));
+  write_binary_csr(path("s.csr"), csr);
+  const Csr back = read_binary_csr(path("s.csr"));
+  EXPECT_EQ(back.num_vertices(), 2u);
+  EXPECT_EQ(back.num_edges(), 2u);  // undirected: stored both ways
+  EXPECT_EQ(csr, back);
+}
+
 TEST_F(IoTest, MatrixMarketRoundTrip) {
   const Coo g = sample();
   write_matrix_market(path("g.mtx"), g);
