@@ -1,0 +1,166 @@
+// Closed-loop load generator for serve::QueryService.
+//
+// Two phases. Warmup issues one query per distinct dataset serially, in
+// fixed order — this pins the service's decision table (sticky picks), so
+// selector decisions and triangle counts are reproducible run-to-run no
+// matter how the timed phase's threads interleave. The table is printed,
+// and --check-picks=ds:algo,... turns it into a CI regression gate (exit 3
+// on any drift). The timed phase then runs N closed-loop clients
+// round-robining the same datasets for a fixed number of queries, and
+// reports p50/p95/p99 end-to-end latency and QPS.
+//
+// Try: serve_throughput --datasets=As-Caida,Soc-Pokec,Com-Orkut \
+//        --clients=4 --queries=120
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  std::vector<std::string> datasets = opt.datasets;
+  if (datasets.empty()) {
+    for (const auto& spec : gen::paper_datasets()) datasets.push_back(spec.name);
+  }
+  const std::size_t clients = opt.clients == 0 ? 4 : opt.clients;
+  const std::uint64_t total_queries =
+      opt.queries == 0 ? 16 * datasets.size() : opt.queries;
+
+  framework::Engine engine(opt);
+  serve::QueryService::Config cfg;
+  cfg.workers = opt.jobs == 0 ? 2 : opt.jobs;
+  serve::QueryService service(engine, cfg);
+
+  // --- Phase 1: serial warmup pins the decision table --------------------
+  framework::ResultTable picks({"dataset", "algorithm", "modeled_ms",
+                                "measured_ms", "triangles", "valid"});
+  for (const auto& name : datasets) {
+    serve::QueryRequest req;
+    req.dataset = name;
+    auto reply = service.submit(std::move(req)).get();
+    if (reply.status != serve::QueryStatus::kOk) {
+      std::cerr << "warmup query for '" << name
+                << "' failed: " << to_string(reply.status) << " "
+                << reply.error << '\n';
+      return 2;
+    }
+    picks.add_row({name, reply.algorithm,
+                   framework::ResultTable::fmt(reply.modeled.modeled_ms, 4),
+                   framework::ResultTable::fmt(reply.stats.time_ms, 4),
+                   std::to_string(reply.triangles),
+                   reply.valid ? "yes" : "NO"});
+  }
+  framework::emit(picks, opt, std::cout,
+                  "Selector decision table (serial warmup, seed " +
+                      std::to_string(opt.seed) + ", edge cap " +
+                      std::to_string(opt.max_edges) + ")");
+
+  if (!opt.check_picks.empty()) {
+    // "dataset:algorithm,..." — assert against the latched table.
+    std::map<std::string, std::string> table;
+    for (const auto& [key, algo] : service.decision_table()) table[key] = algo;
+    bool drift = false;
+    std::stringstream ss(opt.check_picks);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const auto colon = item.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "bad --check-picks entry '" << item
+                  << "' (expected dataset:algorithm)\n";
+        return 2;
+      }
+      const std::string ds = item.substr(0, colon);
+      const std::string want = item.substr(colon + 1);
+      const auto it = table.find(ds);
+      const std::string got = it == table.end() ? "<none>" : it->second;
+      if (got != want) {
+        std::cerr << "PICK DRIFT: " << ds << " -> " << got << " (pinned "
+                  << want << ")\n";
+        drift = true;
+      }
+    }
+    if (drift) return 3;
+    std::cout << "# pinned picks hold\n";
+  }
+
+  // --- Phase 2: closed-loop timed run ------------------------------------
+  std::atomic<std::uint64_t> next{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::uint64_t> not_ok{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::uint64_t i = next.fetch_add(1); i < total_queries;
+             i = next.fetch_add(1)) {
+          serve::QueryRequest req;
+          req.dataset = datasets[i % datasets.size()];
+          auto reply = service.submit(std::move(req)).get();
+          if (reply.status != serve::QueryStatus::kOk || !reply.valid) {
+            not_ok.fetch_add(1);
+          }
+          latencies[c].push_back(reply.trace.total_ms());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  const auto counters = service.counters();
+  framework::ResultTable summary({"clients", "queries", "not_ok", "batches",
+                                  "batched", "p50_ms", "p95_ms", "p99_ms",
+                                  "qps"});
+  summary.add_row(
+      {std::to_string(clients), std::to_string(all.size()),
+       std::to_string(not_ok.load()), std::to_string(counters.batches),
+       std::to_string(counters.batched),
+       framework::ResultTable::fmt(percentile(all, 0.50), 3),
+       framework::ResultTable::fmt(percentile(all, 0.95), 3),
+       framework::ResultTable::fmt(percentile(all, 0.99), 3),
+       framework::ResultTable::fmt(
+           wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0, 1)});
+  framework::emit(summary, opt, std::cout,
+                  "Closed-loop throughput (" + std::to_string(clients) +
+                      " clients, " + std::to_string(total_queries) +
+                      " queries)");
+
+  service.shutdown();
+  if (not_ok.load() != 0) return 1;
+  return engine.exit_code();
+}

@@ -20,6 +20,7 @@ namespace tcgpu::framework {
 struct Engine::CacheEntry {
   std::mutex m;
   GraphHandle value;
+  std::list<PrepareKey>::iterator lru_it;  ///< position in Engine::lru_
 };
 
 /// One pooled device image. `device` owns only the graph arrays; `mark` is
@@ -67,7 +68,7 @@ Engine::Engine(Config cfg) : cfg_(std::move(cfg)) {
 Engine::Engine(const BenchOptions& opt)
     : Engine(Config{spec_for(opt.gpu), opt.max_edges, opt.seed,
                     graph::OrientationPolicy::kByDegree, opt.datasets,
-                    opt.jobs}) {}
+                    opt.jobs, opt.max_resident}) {}
 
 Engine::GraphHandle Engine::prepare_cached(const PrepareKey& key,
                                            const gen::DatasetSpec& spec) {
@@ -75,7 +76,25 @@ Engine::GraphHandle Engine::prepare_cached(const PrepareKey& key,
   {
     std::lock_guard lk(cache_mu_);
     auto& slot = cache_[key];
-    if (!slot) slot = std::make_shared<CacheEntry>();
+    if (!slot) {
+      slot = std::make_shared<CacheEntry>();
+      lru_.push_front(key);
+      slot->lru_it = lru_.begin();
+      // Enforce the resident cap, oldest first, never the key just added.
+      // Entries mid-prepare (their latch held) are skipped, not waited on.
+      if (cfg_.max_resident > 0 && cache_.size() > cfg_.max_resident) {
+        std::vector<PrepareKey> victims;
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+          if (!(*it == key)) victims.push_back(*it);
+        }
+        for (const auto& victim : victims) {
+          if (cache_.size() <= cfg_.max_resident) break;
+          evict_locked(victim, /*force=*/false);
+        }
+      }
+    } else {
+      lru_.splice(lru_.begin(), lru_, slot->lru_it);  // touch
+    }
     entry = slot;
   }
   std::lock_guard lk(entry->m);
@@ -128,6 +147,51 @@ std::shared_ptr<Engine::Resident> Engine::acquire_resident(const GraphHandle& gr
     ++counters_.upload_hits;
   }
   return res;
+}
+
+bool Engine::evict_locked(const PrepareKey& key, bool force) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  const std::shared_ptr<CacheEntry> entry = it->second;
+
+  // The entry latch orders us after any in-flight prepare of this key.
+  // Lock ordering stays cache_mu_ -> entry->m -> pool_mu_/stats_mu_; a
+  // preparing thread holds entry->m but never takes cache_mu_.
+  std::unique_lock<std::mutex> entry_lk(entry->m, std::defer_lock);
+  if (force) {
+    entry_lk.lock();
+  } else if (!entry_lk.try_lock()) {
+    return false;  // capacity sweep: skip entries mid-prepare
+  }
+
+  if (entry->value) {
+    std::lock_guard pl(pool_mu_);
+    pool_.erase(entry->value.get());
+  }
+  lru_.erase(entry->lru_it);
+  cache_.erase(it);
+  std::lock_guard sl(stats_mu_);
+  ++counters_.evictions;
+  return true;
+}
+
+bool Engine::evict(const PrepareKey& key) {
+  std::lock_guard lk(cache_mu_);
+  return evict_locked(key, /*force=*/true);
+}
+
+bool Engine::evict(const std::string& dataset_name) {
+  return evict(PrepareKey{dataset_name, cfg_.max_edges, cfg_.seed, cfg_.policy});
+}
+
+std::size_t Engine::resident_graphs() const {
+  std::lock_guard lk(cache_mu_);
+  return cache_.size();
+}
+
+bool Engine::release_device(const GraphHandle& graph) {
+  std::lock_guard pl(pool_mu_);
+  return pool_.erase(graph.get()) != 0;
 }
 
 RunOutcome Engine::run(const tc::TriangleCounter& algo, const GraphHandle& graph) {

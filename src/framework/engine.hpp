@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,7 @@ struct EngineCounters {
   std::uint64_t uploads = 0;       ///< DAG uploads (pool misses)
   std::uint64_t upload_hits = 0;   ///< runs served by a resident DeviceGraph
   std::uint64_t cells = 0;         ///< algorithm runs completed
+  std::uint64_t evictions = 0;     ///< cache entries dropped (cap or evict())
 };
 
 /// One dataset of a sweep: the prepared graph and one outcome per algorithm
@@ -84,6 +86,12 @@ class Engine {
     graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree;
     std::vector<std::string> datasets;  ///< sweep selection; empty = all 19
     std::size_t workers = 1;            ///< parallel cells; 0 = auto, 1 = serial
+    /// Prepared-graph cache cap (0 = unbounded). When a prepare would push
+    /// the cache past the cap, least-recently-used entries (and their pooled
+    /// device images) are dropped — long-running processes (the serve layer,
+    /// full scaling sweeps) stay bounded. In-flight handles stay valid;
+    /// re-preparing an evicted key just reruns the deterministic pipeline.
+    std::size_t max_resident = 0;
   };
 
   Engine() : Engine(Config{}) {}
@@ -118,6 +126,20 @@ class Engine {
   std::vector<SweepRow> sweep(const std::vector<AlgorithmEntry>& algorithms,
                               std::ostream& progress);
 
+  /// Drops one prepared graph from the cache and its device image from the
+  /// pool. Returns false if the key was not resident. Handles already given
+  /// out keep working; the next prepare of the key reruns the pipeline.
+  bool evict(const PrepareKey& key);
+  /// Same for a paper dataset under this engine's cap/seed/policy.
+  bool evict(const std::string& dataset_name);
+  /// Prepared graphs currently cached (≤ Config::max_resident when capped).
+  std::size_t resident_graphs() const;
+  /// Drops the pooled device image for one graph handle (the cache entry,
+  /// if any, stays). This is the only way to release the upload of a
+  /// prepare_raw graph — the serve layer calls it after an inline batch so
+  /// one-shot query graphs do not accumulate in the pool.
+  bool release_device(const GraphHandle& graph);
+
   /// False once any run's count mismatched the CPU reference.
   bool all_valid() const;
   /// Shell convention: 0 while all counts validated, 1 otherwise.
@@ -132,11 +154,15 @@ class Engine {
 
   GraphHandle prepare_cached(const PrepareKey& key, const gen::DatasetSpec& spec);
   std::shared_ptr<Resident> acquire_resident(const GraphHandle& graph);
+  /// Drops `key` under cache_mu_. `force` waits out an in-flight prepare;
+  /// the capacity sweep instead skips busy entries.
+  bool evict_locked(const PrepareKey& key, bool force);
 
   Config cfg_;
 
-  mutable std::mutex cache_mu_;  ///< guards cache_ map shape
+  mutable std::mutex cache_mu_;  ///< guards cache_ and lru_ shape
   std::map<PrepareKey, std::shared_ptr<CacheEntry>> cache_;
+  std::list<PrepareKey> lru_;    ///< most recently used at the front
 
   mutable std::mutex pool_mu_;  ///< guards pool_ map shape
   std::map<const PreparedGraph*, std::shared_ptr<Resident>> pool_;

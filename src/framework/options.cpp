@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "framework/registry.hpp"
 #include "gen/paper_datasets.hpp"
 
 namespace tcgpu::framework {
@@ -25,8 +26,33 @@ std::uint64_t parse_u64(const std::string& s, const std::string& flag) {
     if (pos != s.size()) throw std::invalid_argument(s);
     return v;
   } catch (const std::exception&) {
-    throw std::invalid_argument("bad numeric value for --" + flag + ": " + s);
+    throw std::invalid_argument("bad numeric value for --" + flag + ": '" + s +
+                                "' (expected an unsigned integer)");
   }
+}
+
+/// Rejects unknown algorithm names with a message listing the registry.
+void check_algorithm_name(const std::string& name) {
+  for (const auto& e : extended_algorithms()) {
+    if (e.name == name) return;
+  }
+  std::string valid;
+  for (const auto& e : extended_algorithms()) {
+    if (!valid.empty()) valid += ", ";
+    valid += e.name;
+  }
+  throw std::invalid_argument("unknown algorithm '" + name + "' (valid: " +
+                              valid + ")");
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
 }
 
 }  // namespace
@@ -77,15 +103,27 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       }
       opt.partition = value;
     } else if (take_flag(arg, "datasets", &value)) {
-      std::stringstream ss(value);
-      std::string item;
-      while (std::getline(ss, item, ',')) {
-        if (!item.empty()) {
-          gen::dataset_by_name(item);  // reject typos with exit 2, not an
-                                       // empty sweep that exits 0
-          opt.datasets.push_back(item);
-        }
+      for (auto& item : split_list(value)) {
+        gen::dataset_by_name(item);  // reject typos with exit 2 and the list
+                                     // of valid names, not an empty sweep
+        opt.datasets.push_back(std::move(item));
       }
+    } else if (take_flag(arg, "algos", &value)) {
+      for (auto& item : split_list(value)) {
+        check_algorithm_name(item);
+        opt.algos.push_back(std::move(item));
+      }
+    } else if (take_flag(arg, "algo", &value)) {
+      check_algorithm_name(value);
+      opt.algos.push_back(value);
+    } else if (take_flag(arg, "max-resident", &value)) {
+      opt.max_resident = static_cast<std::size_t>(parse_u64(value, "max-resident"));
+    } else if (take_flag(arg, "clients", &value)) {
+      opt.clients = static_cast<std::size_t>(parse_u64(value, "clients"));
+    } else if (take_flag(arg, "queries", &value)) {
+      opt.queries = parse_u64(value, "queries");
+    } else if (take_flag(arg, "check-picks", &value)) {
+      opt.check_picks = value;
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through untouched
     } else {

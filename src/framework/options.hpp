@@ -19,7 +19,9 @@ struct BenchOptions {
   bool json = false;                 ///< JSON output (wins over csv)
   std::string gpu = "v100";          ///< "v100" | "rtx4090"
   std::vector<std::string> datasets; ///< empty = all 19
+  std::vector<std::string> algos;    ///< algorithm selection; empty = bench default
   std::size_t jobs = 0;              ///< engine cell workers; 0 = auto, 1 = serial
+  std::size_t max_resident = 0;      ///< prepared-graph cache cap (0 = unbounded)
 
   /// Multi-GPU benches only (src/dist/). 0 = sweep the default device
   /// counts; an explicit --gpus=N (1..64) runs just that N.
@@ -27,11 +29,21 @@ struct BenchOptions {
   /// "" = sweep all partition strategies; otherwise "range" | "hash" | "2d".
   std::string partition;
 
+  /// Serving benches only (src/serve/): closed-loop load-generator shape.
+  std::size_t clients = 0;    ///< concurrent closed-loop clients; 0 = default
+  std::uint64_t queries = 0;  ///< total queries to issue; 0 = bench default
+  /// "dataset:algorithm,..." — pinned selector decisions the serve bench
+  /// asserts after warmup (CI regression gate); "" = no assertion.
+  std::string check_picks;
+
   /// Parses argv (flags: --max-edges=N --seed=N --full --csv --json
-  /// --gpu=NAME --datasets=a,b,c --jobs=N --serial --gpus=N
-  /// --partition=range|hash|2d) with TCGPU_EDGE_CAP / TCGPU_SEED /
-  /// TCGPU_JOBS as fallbacks.
-  /// Throws std::invalid_argument on unknown flags (so typos fail loudly).
+  /// --gpu=NAME --datasets=a,b,c --algos=a,b,c --algo=NAME --jobs=N
+  /// --serial --max-resident=N --gpus=N --partition=range|hash|2d
+  /// --clients=N --queries=N --check-picks=ds:algo,...) with
+  /// TCGPU_EDGE_CAP / TCGPU_SEED / TCGPU_JOBS as fallbacks.
+  /// Unknown flags, unknown --datasets/--algos names and malformed numbers
+  /// all throw with a one-line message naming the valid choices; bench
+  /// mains print it and exit 2 rather than falling through to defaults.
   static BenchOptions parse(int argc, char** argv);
 };
 

@@ -53,7 +53,12 @@ std::unique_ptr<tc::TriangleCounter> make_algorithm(const std::string& name) {
   for (const auto& e : extended_algorithms()) {
     if (e.name == name) return e.make();
   }
-  throw std::out_of_range("unknown algorithm: " + name);
+  std::string valid;
+  for (const auto& e : extended_algorithms()) {
+    if (!valid.empty()) valid += ", ";
+    valid += e.name;
+  }
+  throw std::out_of_range("unknown algorithm '" + name + "' (valid: " + valid + ")");
 }
 
 }  // namespace tcgpu::framework

@@ -16,6 +16,7 @@ PreparedGraph prepare_graph(std::string name, const graph::Coo& raw,
   pg.stats = graph::compute_stats(undirected);
   auto oriented = graph::orient(undirected, policy);
   pg.dag = std::move(oriented.dag);
+  graph::fold_dag_stats(pg.dag, pg.stats);
   pg.reference_triangles = graph::count_triangles_forward(pg.dag);
   return pg;
 }

@@ -75,7 +75,12 @@ const DatasetSpec& dataset_by_name(const std::string& name) {
   for (const auto& d : kDatasets) {
     if (d.name == name) return d;
   }
-  throw std::out_of_range("unknown dataset: " + name);
+  std::string valid;
+  for (const auto& d : kDatasets) {
+    if (!valid.empty()) valid += ", ";
+    valid += d.name;
+  }
+  throw std::out_of_range("unknown dataset '" + name + "' (valid: " + valid + ")");
 }
 
 double dataset_scale(const DatasetSpec& spec, std::uint64_t max_edges) {

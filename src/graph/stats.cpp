@@ -22,6 +22,27 @@ GraphStats compute_stats(const Csr& g) {
   return s;
 }
 
+void fold_dag_stats(const Csr& dag, GraphStats& s) {
+  const VertexId n = dag.num_vertices();
+  if (n == 0) return;
+  std::vector<EdgeIndex> out(n);
+  std::uint64_t sq = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const EdgeIndex d = dag.degree(u);
+    out[u] = d;
+    sq += static_cast<std::uint64_t>(d) * d;
+  }
+  std::sort(out.begin(), out.end());
+  s.max_out_degree = out.back();
+  s.p99_out_degree = out[static_cast<std::size_t>(
+      static_cast<double>(out.size() - 1) * 0.99)];
+  s.avg_out_degree = static_cast<double>(dag.num_edges()) / static_cast<double>(n);
+  s.sum_out_degree_sq = sq;
+  s.out_degree_skew = s.avg_out_degree > 0.0
+                          ? static_cast<double>(s.max_out_degree) / s.avg_out_degree
+                          : 0.0;
+}
+
 std::vector<std::uint64_t> degree_histogram(const Csr& g) {
   EdgeIndex max_d = 0;
   for (VertexId v = 0; v < g.num_vertices(); ++v) max_d = std::max(max_d, g.degree(v));

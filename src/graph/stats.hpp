@@ -16,11 +16,25 @@ struct GraphStats {
   EdgeIndex max_degree = 0;
   EdgeIndex median_degree = 0;
   EdgeIndex p99_degree = 0;
-  EdgeIndex max_out_degree = 0;  ///< of the degree-oriented DAG, if provided
+
+  // --- oriented-DAG quantities (filled by fold_dag_stats) -----------------
+  // These drive the paper's three governing factors: sum_out_degree_sq is
+  // the total-work driver (candidate wedges per anchor scale with d_out²),
+  // out_degree_skew the warp-imbalance driver, and both feed serve::Selector.
+  EdgeIndex max_out_degree = 0;
+  EdgeIndex p99_out_degree = 0;
+  double avg_out_degree = 0.0;
+  std::uint64_t sum_out_degree_sq = 0;  ///< Σ_u d_out(u)²
+  double out_degree_skew = 0.0;         ///< max_out / avg_out (1 when regular)
 };
 
 /// Stats of a simple undirected graph (symmetric CSR).
 GraphStats compute_stats(const Csr& undirected);
+
+/// Folds the oriented DAG's out-degree quantities into `s` (the undirected
+/// fields are left untouched). The framework runner calls this after
+/// orientation so every PreparedGraph carries the work/imbalance drivers.
+void fold_dag_stats(const Csr& dag, GraphStats& s);
 
 /// Degree histogram: hist[d] = number of vertices with degree d.
 std::vector<std::uint64_t> degree_histogram(const Csr& undirected);

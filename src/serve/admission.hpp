@@ -1,0 +1,145 @@
+// Admission control for the query service: a bounded MPMC queue with
+// backpressure and batch extraction.
+//
+// Backpressure is the admission policy: when the queue is full, push()
+// either blocks the producer (closed-loop clients slow down to the
+// service's pace) or rejects immediately (open-loop callers shed load
+// instead of growing an unbounded backlog). take_matching() is the batching
+// hook — a worker that dequeued one query drains every other queued query
+// on the same graph so the whole batch shares one prepare/upload.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace tcgpu::serve {
+
+struct AdmissionCounters {
+  std::uint64_t admitted = 0;       ///< pushes that entered the queue
+  std::uint64_t rejected_full = 0;  ///< non-blocking pushes refused (full)
+  std::uint64_t rejected_closed = 0;///< pushes after close()
+  std::uint64_t dequeued = 0;       ///< items handed to workers
+  std::uint64_t blocked_pushes = 0; ///< pushes that had to wait for space
+};
+
+template <class T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1. `block_when_full` selects the backpressure
+  /// mode: true = push() waits for space, false = push() returns false.
+  explicit BoundedQueue(std::size_t capacity, bool block_when_full = true)
+      : capacity_(capacity == 0 ? 1 : capacity), blocking_(block_when_full) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues one item. Returns false when the queue is closed, or when it
+  /// is full in non-blocking mode (the item is dropped back to the caller
+  /// via the move — check the return value).
+  bool push(T&& item) {
+    std::unique_lock lk(mu_);
+    if (closed_) {
+      ++counters_.rejected_closed;
+      return false;
+    }
+    if (items_.size() >= capacity_) {
+      if (!blocking_) {
+        ++counters_.rejected_full;
+        return false;
+      }
+      ++counters_.blocked_pushes;
+      not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        ++counters_.rejected_closed;
+        return false;
+      }
+    }
+    items_.push_back(std::move(item));
+    ++counters_.admitted;
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item; blocks while the queue is open and empty.
+  /// Returns nullopt once the queue is closed *and* drained — workers use
+  /// that as their shutdown signal, so no admitted query is dropped.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++counters_.dequeued;
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Extracts (in FIFO order) up to `max` queued items satisfying `pred` —
+  /// batch formation. Does not block; returns what is queued right now.
+  template <class Pred>
+  std::vector<T> take_matching(Pred&& pred, std::size_t max) {
+    std::vector<T> taken;
+    {
+      std::lock_guard lk(mu_);
+      for (auto it = items_.begin(); it != items_.end() && taken.size() < max;) {
+        if (pred(*it)) {
+          taken.push_back(std::move(*it));
+          it = items_.erase(it);
+          ++counters_.dequeued;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!taken.empty()) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Stops admission. Queued items remain poppable; blocked producers wake
+  /// and see their push rejected.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  AdmissionCounters counters() const {
+    std::lock_guard lk(mu_);
+    return counters_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const bool blocking_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  AdmissionCounters counters_;
+};
+
+}  // namespace tcgpu::serve

@@ -1,0 +1,192 @@
+#include "serve/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tcgpu::serve {
+
+namespace {
+
+/// Graph identity for refinement keys: a splitmix64 mix of the stats fields
+/// that pin a prepared graph. Deterministic across runs and platforms.
+std::uint64_t graph_identity(const graph::GraphStats& s) {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h += 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 31;
+    return h * 0x94d049bb133111ebull;
+  };
+  std::uint64_t h = 0x2545f4914f6cdd1dull;
+  h = mix(h, static_cast<std::uint64_t>(s.num_vertices));
+  h = mix(h, s.num_undirected_edges);
+  h = mix(h, s.sum_out_degree_sq);
+  h = mix(h, static_cast<std::uint64_t>(s.max_out_degree));
+  return h;
+}
+
+double log2_safe(double v) { return std::log2(std::max(2.0, v)); }
+
+}  // namespace
+
+const char* to_string(Hint h) {
+  switch (h) {
+    case Hint::kAuto: return "auto";
+    case Hint::kLatency: return "latency";
+    case Hint::kAccuracy: return "accuracy";
+  }
+  return "?";
+}
+
+std::vector<AlgoModel> Selector::default_models() {
+  using W = AlgoModel::Work;
+  // Registry order (Table I). (work_exponent, imb_exponent, hash_load,
+  // calibration) are fit against the simulator's measured kernel times on
+  // the 19-dataset suite at the default edge cap — bench/selector_fit
+  // reports the residuals and regenerates the calibration column. Launch
+  // counts are the measured per-run launches (Fox re-launches per degree
+  // bin; everything else is a single kernel).
+  std::vector<AlgoModel> models = {
+      {"Green", W::kMerge, /*launches=*/1, /*alpha=*/0.725, /*beta=*/0.1,
+       /*hash_load=*/0.0, /*calibration=*/184.70, /*fragile=*/false},
+      {"Polak", W::kMerge, 1, 0.800, 0.5, 0.0, 17.88, false},
+      {"Bisson", W::kBitmap, 1, 0.650, 0.6, 0.0, 230.41, false},
+      {"TriCore", W::kBinarySearch, 1, 0.475, 0.0, 0.0, 6658.1, false},
+      {"Fox", W::kBinarySearch, 4, 0.675, 0.4, 0.0, 108.65, false},
+      {"Hu", W::kBinarySearch, 1, 0.400, -0.3, 0.0, 41483.5, false},
+      {"H-INDEX", W::kHash, 1, 0.800, 0.1, 0.0, 168.80, /*fragile=*/true},
+      {"TRUST", W::kHash, 1, 0.500, 0.1, 24.0, 3082.7, false},
+      {"GroupTC", W::kBinarySearch, 1, 0.600, 0.4, 0.0, 359.01, false},
+  };
+  return models;
+}
+
+Selector::Selector(Config cfg) : Selector(default_models(), std::move(cfg)) {}
+
+Selector::Selector(std::vector<AlgoModel> models, Config cfg)
+    : cfg_(std::move(cfg)), models_(std::move(models)) {}
+
+double Selector::raw_model_ms(const AlgoModel& m, const graph::GraphStats& stats,
+                              CostBreakdown* out) const {
+  const double n = static_cast<double>(stats.num_vertices);
+  const double edges = static_cast<double>(stats.num_undirected_edges);
+  const double davg = stats.avg_out_degree;
+  const double s2 = static_cast<double>(stats.sum_out_degree_sq);
+  const double skew = std::max(1.0, stats.out_degree_skew);
+
+  // Total work: intersection operations implied by the method (§II-B).
+  // Σ d_out² is the wedge count every method pays at least once.
+  double work = 0.0;
+  double mem = 1.0;
+  switch (m.work) {
+    case AlgoModel::Work::kMerge:
+      work = s2 + edges * davg;  // scan both endpoint lists per edge
+      break;
+    case AlgoModel::Work::kBinarySearch:
+      work = s2 * log2_safe(davg);  // log probes per candidate
+      break;
+    case AlgoModel::Work::kHash:
+      work = s2 + 2.0 * edges;  // build tables once, probe per wedge
+      // Memory-access pattern: hash probes chain through scattered sectors
+      // as the table load factor grows with density — this is what hands
+      // the densest graphs back to the merge/bitmap kernels.
+      if (m.hash_load > 0.0) mem = 1.0 + davg / m.hash_load;
+      break;
+    case AlgoModel::Work::kBitmap:
+      work = s2 + 2.0 * edges + n;  // set/clear bits + probes
+      // The shared->global bitmap cliff (ablation_bisson): once one bit per
+      // vertex no longer fits the block's shared memory, every probe goes
+      // to scattered global sectors.
+      if (n > static_cast<double>(cfg_.spec.shared_mem_per_block) * 8.0) {
+        mem *= 4.0;
+      }
+      break;
+  }
+
+  // Warp workload imbalance: skew in the out-degree distribution stalls
+  // kernels whose unit of work is one whole adjacency list.
+  const double imbalance = std::pow(skew, m.imb_exponent);
+
+  const double launch_ms = cfg_.spec.launch_overhead_ms(m.launches);
+  const double work_ms =
+      m.calibration * cfg_.spec.parallel_cycles_to_ms(
+                          std::pow(work * mem, m.work_exponent) * imbalance);
+  if (out != nullptr) {
+    out->work = work;
+    out->imbalance = imbalance;
+    out->mem_factor = mem;
+    out->launch_ms = launch_ms;
+    out->modeled_ms = work_ms + launch_ms;
+  }
+  return work_ms + launch_ms;
+}
+
+std::vector<Candidate> Selector::score(const graph::GraphStats& stats,
+                                       Hint hint) const {
+  std::vector<Candidate> out;
+  out.reserve(models_.size());
+  for (const auto& m : models_) {
+    if (hint == Hint::kAccuracy && m.fragile) continue;
+    Candidate c;
+    c.algorithm = m.name;
+    raw_model_ms(m, stats, &c.cost);
+    const double refine = refinement(m.name, stats);
+    c.cost.modeled_ms = (c.cost.modeled_ms - c.cost.launch_ms) * refine +
+                        c.cost.launch_ms;
+    out.push_back(std::move(c));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.cost.modeled_ms < b.cost.modeled_ms;
+  });
+  return out;
+}
+
+Candidate Selector::choose(const graph::GraphStats& stats, Hint hint) const {
+  auto ranked = score(stats, hint);
+  if (ranked.empty()) {
+    throw std::logic_error("Selector::choose: no algorithm admissible");
+  }
+  return std::move(ranked.front());
+}
+
+void Selector::observe(const std::string& algorithm,
+                       const graph::GraphStats& stats,
+                       const simt::KernelStats& measured) {
+  if (!cfg_.refine) return;
+  const AlgoModel* model = nullptr;
+  for (const auto& m : models_) {
+    if (m.name == algorithm) {
+      model = &m;
+      break;
+    }
+  }
+  if (model == nullptr) return;  // outside the registered universe
+
+  CostBreakdown cost;
+  raw_model_ms(*model, stats, &cost);
+  const double modeled_work_ms = cost.modeled_ms - cost.launch_ms;
+  const double measured_work_ms = measured.time_ms - cost.launch_ms;
+  if (modeled_work_ms <= 0.0 || measured_work_ms <= 0.0) return;
+  const double ratio =
+      std::clamp(measured_work_ms / modeled_work_ms, 1.0 / 16.0, 16.0);
+  std::lock_guard lk(mu_);
+  observed_[{algorithm, graph_identity(stats)}] = std::log(ratio);
+}
+
+double Selector::refinement(const std::string& algorithm,
+                            const graph::GraphStats& stats) const {
+  // Exact per-(algorithm, graph) correction only: a residual measured on
+  // one graph never perturbs the scores of another — cross-graph
+  // generalization is the fitted calibration's job (bench/selector_fit).
+  std::lock_guard lk(mu_);
+  const auto it = observed_.find({algorithm, graph_identity(stats)});
+  if (it == observed_.end()) return 1.0;
+  return std::clamp(std::exp(it->second), 0.25, 4.0);
+}
+
+std::size_t Selector::observations() const {
+  std::lock_guard lk(mu_);
+  return observed_.size();
+}
+
+}  // namespace tcgpu::serve

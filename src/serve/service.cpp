@@ -1,0 +1,297 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+
+namespace tcgpu::serve {
+
+namespace {
+
+/// Content hash of an inline edge list — the batching/stickiness key for
+/// queries that carry their graph with them. Deterministic across runs.
+std::uint64_t edges_hash(const graph::Coo& coo) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ coo.num_vertices;
+  for (const auto& [u, v] : coo.edges) {
+    std::uint64_t x = (static_cast<std::uint64_t>(u) << 32) | v;
+    x ^= h;
+    x += 0x9e3779b97f4a7c15ull;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    h = x * 0x94d049bb133111ebull;
+  }
+  return h;
+}
+
+QueryTrace::TimePoint now() { return QueryTrace::Clock::now(); }
+
+}  // namespace
+
+const char* to_string(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRejected: return "rejected";
+    case QueryStatus::kShutdown: return "shutdown";
+    case QueryStatus::kDeadlineExpired: return "deadline-expired";
+    case QueryStatus::kInvalidRequest: return "invalid-request";
+    case QueryStatus::kError: return "error";
+  }
+  return "?";
+}
+
+/// One admitted query riding through the pipeline.
+struct QueryService::Pending {
+  QueryRequest req;
+  std::string key;  ///< batching key: dataset name or inline content hash
+  QueryTrace trace;
+  std::promise<QueryReply> promise;
+};
+
+QueryService::QueryService(framework::Engine& engine, Config cfg)
+    : QueryService(engine,
+                   Selector::Config{engine.config().spec, cfg.refine}, cfg) {}
+
+QueryService::QueryService(framework::Engine& engine,
+                           Selector::Config selector_cfg, Config cfg)
+    : engine_(engine),
+      cfg_(cfg),
+      selector_(std::move(selector_cfg)),
+      queue_(cfg.queue_capacity, cfg.block_when_full) {
+  const std::size_t workers = std::max<std::size_t>(1, cfg_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryService::~QueryService() { shutdown(); }
+
+void QueryService::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();  // workers drain the backlog, then exit
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::future<QueryReply> QueryService::submit(QueryRequest req) {
+  auto pending = std::make_unique<Pending>();
+  pending->req = std::move(req);
+  pending->trace.enqueue = now();
+  auto future = pending->promise.get_future();
+
+  QueryReply early;
+  early.dataset = pending->req.dataset.empty()
+                      ? (pending->req.name.empty() ? "inline" : pending->req.name)
+                      : pending->req.dataset;
+  if (pending->req.dataset.empty() && pending->req.edges.edges.empty()) {
+    early.status = QueryStatus::kInvalidRequest;
+    early.error = "query names no dataset and carries no edges";
+  } else if (queue_.closed()) {
+    early.status = QueryStatus::kShutdown;
+  } else {
+    pending->key = pending->req.dataset.empty()
+                       ? "inline:" + std::to_string(edges_hash(pending->req.edges))
+                       : pending->req.dataset;
+    if (queue_.push(std::move(pending))) {
+      std::lock_guard lk(mu_);
+      ++counters_.submitted;
+      return future;
+    }
+    // push() consumes the unique_ptr only on success, so `pending` is still
+    // whole here: either close() raced us or the queue is full in
+    // non-blocking (load-shedding) mode.
+    early.status = queue_.closed() ? QueryStatus::kShutdown : QueryStatus::kRejected;
+  }
+
+  // Terminal without admission: resolve the original promise immediately.
+  {
+    std::lock_guard lk(mu_);
+    ++counters_.rejected;
+    if (early.status == QueryStatus::kInvalidRequest) ++counters_.errors;
+  }
+  pending->trace.reply = now();
+  early.trace = pending->trace;
+  pending->promise.set_value(std::move(early));
+  return future;
+}
+
+void QueryService::worker_loop() {
+  while (auto item = queue_.pop()) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    batch.push_back(std::move(*item));
+    const std::string& key = batch.front()->key;
+    if (cfg_.max_batch > 1) {
+      auto more = queue_.take_matching(
+          [&key](const std::unique_ptr<Pending>& p) { return p->key == key; },
+          cfg_.max_batch - 1);
+      for (auto& p : more) batch.push_back(std::move(p));
+    }
+    process_batch(std::move(batch));
+  }
+}
+
+void QueryService::finish(Pending& p, QueryReply reply) {
+  reply.trace = p.trace;
+  reply.trace.reply = now();
+  {
+    std::lock_guard lk(mu_);
+    ++counters_.served;
+    if (reply.status == QueryStatus::kDeadlineExpired) ++counters_.expired;
+    if (reply.status == QueryStatus::kInvalidRequest ||
+        reply.status == QueryStatus::kError) {
+      ++counters_.errors;
+    }
+  }
+  p.promise.set_value(std::move(reply));
+}
+
+void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
+  const auto admit = now();
+  for (auto& p : batch) p->trace.admit = admit;
+  {
+    std::lock_guard lk(mu_);
+    ++counters_.batches;
+    counters_.batched += batch.size() - 1;
+  }
+
+  Pending& head = *batch.front();
+  const bool is_inline = head.req.dataset.empty();
+  const std::string label =
+      is_inline ? (head.req.name.empty() ? "inline" : head.req.name)
+                : head.req.dataset;
+
+  // One prepare/upload for the whole batch. The engine caches dataset
+  // prepares by key; inline graphs run the pipeline once here and share the
+  // handle (and the device image) across the batch.
+  framework::Engine::GraphHandle graph;
+  const auto prepare_start = now();
+  try {
+    graph = is_inline ? engine_.prepare_raw(label, head.req.edges)
+                      : engine_.prepare(head.req.dataset);
+  } catch (const std::exception& e) {
+    const auto prepare_done = now();
+    for (auto& p : batch) {
+      p->trace.prepare_start = prepare_start;
+      p->trace.prepare_done = prepare_done;
+      QueryReply reply;
+      reply.dataset = label;
+      reply.status = QueryStatus::kInvalidRequest;
+      reply.error = e.what();
+      finish(*p, std::move(reply));
+    }
+    return;
+  }
+  const auto prepare_done = now();
+
+  for (auto& p : batch) {
+    p->trace.prepare_start = prepare_start;
+    p->trace.prepare_done = prepare_done;
+
+    QueryReply reply;
+    reply.dataset = label;
+
+    if (p->req.deadline_ms > 0.0 &&
+        QueryTrace::span_ms(p->trace.enqueue, now()) > p->req.deadline_ms) {
+      reply.status = QueryStatus::kDeadlineExpired;
+      reply.error = "deadline passed before dispatch";
+      finish(*p, std::move(reply));
+      continue;
+    }
+
+    // Selection: caller override wins; otherwise the cost model, latched
+    // per (graph, hint) so a graph's routing is stable for the process.
+    std::string algo = p->req.algorithm;
+    if (algo.empty()) {
+      reply.selected = true;
+      const std::pair<std::string, Hint> pick_key{p->key, p->req.hint};
+      bool latched = false;
+      if (cfg_.sticky_picks) {
+        std::lock_guard lk(mu_);
+        const auto it = picks_.find(pick_key);
+        if (it != picks_.end()) {
+          algo = it->second;
+          latched = true;
+        }
+      }
+      try {
+        if (latched) {
+          for (auto& c : selector_.score(graph->stats, p->req.hint)) {
+            if (c.algorithm == algo) {
+              reply.modeled = c.cost;
+              break;
+            }
+          }
+        } else {
+          Candidate c = selector_.choose(graph->stats, p->req.hint);
+          algo = c.algorithm;
+          reply.modeled = c.cost;
+          if (cfg_.sticky_picks) {
+            std::lock_guard lk(mu_);
+            picks_.emplace(pick_key, algo);
+          }
+        }
+      } catch (const std::exception& e) {
+        reply.status = QueryStatus::kInvalidRequest;
+        reply.error = e.what();
+        finish(*p, std::move(reply));
+        continue;
+      }
+    }
+    reply.algorithm = algo;
+    p->trace.select_done = now();
+
+    p->trace.run_start = now();
+    try {
+      framework::RunOutcome out = engine_.run(algo, graph);
+      p->trace.run_done = now();
+      reply.triangles = out.result.triangles;
+      reply.valid = out.valid;
+      reply.stats = out.result.total;
+      reply.status = QueryStatus::kOk;
+      if (cfg_.refine) {
+        selector_.observe(algo, graph->stats, out.result.total);
+      }
+    } catch (const std::out_of_range& e) {
+      p->trace.run_done = now();
+      reply.status = QueryStatus::kInvalidRequest;  // unknown forced kernel
+      reply.error = e.what();
+    } catch (const std::exception& e) {
+      p->trace.run_done = now();
+      reply.status = QueryStatus::kError;
+      reply.error = e.what();
+    }
+    finish(*p, std::move(reply));
+  }
+
+  // One-shot graphs must not accumulate device images in the pool.
+  if (is_inline) engine_.release_device(graph);
+}
+
+ServiceCounters QueryService::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+std::vector<std::pair<std::string, std::string>> QueryService::decision_table()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::lock_guard lk(mu_);
+  out.reserve(picks_.size());
+  for (const auto& [key, algo] : picks_) {
+    std::string label = key.first;
+    if (key.second != Hint::kAuto) {
+      label += "@" + std::string(to_string(key.second));
+    }
+    out.emplace_back(std::move(label), algo);
+  }
+  return out;
+}
+
+}  // namespace tcgpu::serve

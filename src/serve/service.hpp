@@ -1,0 +1,157 @@
+// serve::QueryService — the concurrent triangle-count front door.
+//
+// Queries (a registry dataset name, or an inline edge list) enter a bounded
+// admission queue (backpressure: block or shed), workers batch queued
+// queries on the same graph into one prepare/upload, the Selector's cost
+// model picks the kernel per query (unless the query forces one), and the
+// Engine executes against its pooled device image. Every reply carries the
+// exact count, the chosen algorithm with its modeled cost, the run's
+// KernelStats, and a per-query trace (enqueue → admit → prepare → select →
+// run → reply).
+//
+// Long-running processes stay bounded: the Engine's prepared-graph cache is
+// LRU-capped (Engine::Config::max_resident / Engine::evict), and device
+// images of one-shot inline graphs are released after their batch.
+//
+// Determinism contract: for a fixed workload set, selector decisions and
+// counts are reproducible. Decisions are latched per (graph, hint) on first
+// choice, and refinement state is keyed by (algorithm, graph), so neither
+// depends on which worker finished first; a serial warmup (one query per
+// distinct graph, fixed order — what bench/serve_throughput does) pins the
+// whole decision table.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "framework/engine.hpp"
+#include "graph/coo.hpp"
+#include "serve/admission.hpp"
+#include "serve/selector.hpp"
+#include "serve/trace.hpp"
+
+namespace tcgpu::serve {
+
+enum class QueryStatus {
+  kOk,               ///< count computed and validated
+  kRejected,         ///< admission queue full (non-blocking mode)
+  kShutdown,         ///< service no longer accepting queries
+  kDeadlineExpired,  ///< deadline passed before the kernel could start
+  kInvalidRequest,   ///< unknown dataset/algorithm name, empty request
+  kError,            ///< execution failed (kernel fault, ...)
+};
+
+const char* to_string(QueryStatus s);
+
+struct QueryRequest {
+  /// Either a paper-registry dataset name...
+  std::string dataset;
+  /// ...or an inline edge list (used when `dataset` is empty). `name` labels
+  /// replies/traces; batching keys on the edge list's content hash.
+  graph::Coo edges;
+  std::string name;  ///< label for inline queries (default "inline")
+
+  /// Force a specific kernel by registry name; empty = selector decides.
+  std::string algorithm;
+  Hint hint = Hint::kAuto;
+  /// Drop the query (kDeadlineExpired) if the kernel has not started this
+  /// many ms after submission; 0 = no deadline.
+  double deadline_ms = 0.0;
+};
+
+struct QueryReply {
+  QueryStatus status = QueryStatus::kError;
+  std::string error;  ///< set for kInvalidRequest/kError
+
+  std::string dataset;    ///< graph label
+  std::string algorithm;  ///< kernel that ran (chosen or forced)
+  bool selected = false;  ///< true when the selector (not the caller) chose
+  CostBreakdown modeled;  ///< selector's score for the chosen kernel
+
+  std::uint64_t triangles = 0;
+  bool valid = false;  ///< count matched the CPU reference
+  simt::KernelStats stats;
+  QueryTrace trace;
+};
+
+struct ServiceCounters {
+  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t rejected = 0;   ///< refused at admission (full/shutdown)
+  std::uint64_t served = 0;     ///< replies delivered (any terminal status)
+  std::uint64_t expired = 0;    ///< kDeadlineExpired replies
+  std::uint64_t errors = 0;     ///< kInvalidRequest + kError replies
+  std::uint64_t batches = 0;    ///< prepare/upload groups executed
+  std::uint64_t batched = 0;    ///< queries that rode an existing batch
+};
+
+class QueryService {
+ public:
+  struct Config {
+    std::size_t workers = 2;         ///< dispatcher threads
+    std::size_t queue_capacity = 64; ///< admission bound
+    /// true: submit() blocks when the queue is full (closed-loop clients);
+    /// false: submit() resolves immediately with kRejected (load shedding).
+    bool block_when_full = true;
+    std::size_t max_batch = 32;  ///< same-graph queries fused per batch
+    bool refine = true;          ///< selector online refinement
+    /// Latch the selector's decision per (graph, hint) on first choice.
+    bool sticky_picks = true;
+  };
+
+  /// Borrows the engine (graph cache, device pool, validation); the engine
+  /// must outlive the service. Algorithm universe = selector's models.
+  explicit QueryService(framework::Engine& engine) : QueryService(engine, Config{}) {}
+  QueryService(framework::Engine& engine, Config cfg);
+  QueryService(framework::Engine& engine, Selector::Config selector_cfg,
+               Config cfg);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits one query. The returned future resolves with a terminal reply
+  /// (kOk, or a non-ok status — never abandoned). Applies the configured
+  /// backpressure mode when the queue is full.
+  std::future<QueryReply> submit(QueryRequest req);
+
+  /// Stops admission, drains queued queries, joins the workers. Idempotent;
+  /// also run by the destructor.
+  void shutdown();
+
+  ServiceCounters counters() const;
+  const Selector& selector() const { return selector_; }
+  framework::Engine& engine() { return engine_; }
+  const Config& config() const { return cfg_; }
+
+  /// The latched (graph key, hint) -> algorithm decision table, sorted by
+  /// key — what bench/serve_throughput prints and CI pins.
+  std::vector<std::pair<std::string, std::string>> decision_table() const;
+
+ private:
+  struct Pending;  ///< one queued query: request + trace + promise
+
+  void worker_loop();
+  void process_batch(std::vector<std::unique_ptr<Pending>> batch);
+  void finish(Pending& p, QueryReply reply);
+
+  framework::Engine& engine_;
+  Config cfg_;
+  Selector selector_;
+
+  BoundedQueue<std::unique_ptr<Pending>> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;  ///< guards picks_, counters_, stopped_
+  std::map<std::pair<std::string, Hint>, std::string> picks_;
+  ServiceCounters counters_;
+  bool stopped_ = false;
+};
+
+}  // namespace tcgpu::serve

@@ -1,0 +1,25 @@
+#include "serve/trace.hpp"
+
+#include <sstream>
+
+namespace tcgpu::serve {
+
+double QueryTrace::span_ms(TimePoint from, TimePoint to) {
+  if (from.time_since_epoch().count() == 0 ||
+      to.time_since_epoch().count() == 0 || to < from) {
+    return 0.0;
+  }
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::string QueryTrace::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "queue=" << queue_ms() << "ms prepare=" << prepare_ms()
+     << "ms select=" << select_ms() << "ms run=" << run_ms()
+     << "ms total=" << total_ms() << "ms";
+  return os.str();
+}
+
+}  // namespace tcgpu::serve

@@ -49,6 +49,26 @@ struct GpuSpec {
     return mem_bandwidth_gbps * 1e9 / (clock_ghz * 1e9);
   }
 
+  // --- cost-model helpers (shared by the launcher's finalize step and the
+  // --- serve::Selector's a-priori kernel scoring) --------------------------
+
+  /// Milliseconds for `cycles` cycles at this SM clock.
+  double cycles_to_ms(double cycles) const { return cycles / (clock_ghz * 1e9) * 1e3; }
+
+  /// Fixed modeled driver/runtime cost of `launches` kernel launches, in ms.
+  /// This term is what penalizes multi-kernel algorithms (TRUST's degree
+  /// buckets, Fox's six bins) on tiny graphs — the paper's §V explanation.
+  double launch_overhead_ms(double launches = 1.0) const {
+    return launch_overhead_us * 1e-3 * launches;
+  }
+
+  /// Milliseconds for `cycles` total cycles of perfectly-parallel work spread
+  /// round-robin over the SMs — the critical-SM bound of an even launch.
+  /// A-priori models scale their per-warp work estimates through this.
+  double parallel_cycles_to_ms(double cycles) const {
+    return cycles_to_ms(cycles / static_cast<double>(sm_count));
+  }
+
   static GpuSpec v100();
   static GpuSpec rtx4090();
 };

@@ -46,8 +46,7 @@ KernelStats finalize(const GpuSpec& spec, const std::vector<double>& block_cycle
   const double cycles = std::max(issue, bw);
   KernelStats stats;
   stats.metrics = m;
-  stats.time_ms =
-      cycles / (spec.clock_ghz * 1e9) * 1e3 + spec.launch_overhead_us * 1e-3;
+  stats.time_ms = spec.cycles_to_ms(cycles) + spec.launch_overhead_ms();
   return stats;
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "framework/sweep.hpp"
 #include "gen/er.hpp"
@@ -164,6 +166,91 @@ TEST(EngineValidation, CountMismatchLatchesAllValidAndExitCode) {
   // A later valid run must not clear the latch.
   EXPECT_TRUE(engine.run("Polak", pg).valid);
   EXPECT_FALSE(engine.all_valid());
+}
+
+TEST(EngineCache, ConcurrentPreparesOfOneKeyRunPipelineOnce) {
+  // N threads race prepare() on the same key: the per-entry latch must
+  // collapse them into one pipeline run, every thread must get the same
+  // PreparedGraph, and a run against the shared handle must be bit-identical
+  // to a run in a serial engine.
+  constexpr std::size_t kThreads = 8;
+  Engine engine(small_config());
+  std::vector<Engine::GraphHandle> handles(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&, i] { handles[i] = engine.prepare("As-Caida"); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const auto& h : handles) {
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h.get(), handles.front().get());
+  }
+  const auto c = engine.counters();
+  EXPECT_EQ(c.prepares, 1u);
+  EXPECT_EQ(c.prepare_hits, kThreads - 1);
+
+  Engine serial(small_config());
+  const auto hammered = engine.run("Polak", handles.front());
+  const auto reference = serial.run("Polak", serial.prepare("As-Caida"));
+  EXPECT_EQ(hammered.result.triangles, reference.result.triangles);
+  EXPECT_EQ(hammered.result.total, reference.result.total);  // bit-identical
+}
+
+TEST(EngineEviction, EvictDropsCacheEntryAndDeviceImage) {
+  Engine engine(small_config());
+  const auto pg = engine.prepare("As-Caida");
+  engine.run("Polak", pg);
+  EXPECT_EQ(engine.resident_graphs(), 1u);
+
+  EXPECT_TRUE(engine.evict("As-Caida"));
+  EXPECT_EQ(engine.resident_graphs(), 0u);
+  EXPECT_EQ(engine.counters().evictions, 1u);
+  EXPECT_FALSE(engine.evict("As-Caida"));  // already gone
+
+  // The handle given out before eviction keeps working (re-upload).
+  EXPECT_TRUE(engine.run("Polak", pg).valid);
+  // Re-preparing reruns the pipeline.
+  engine.prepare("As-Caida");
+  EXPECT_EQ(engine.counters().prepares, 2u);
+}
+
+TEST(EngineEviction, MaxResidentCapEvictsLeastRecentlyUsed) {
+  auto cfg = small_config();
+  cfg.max_resident = 2;
+  Engine engine(cfg);
+  engine.prepare("As-Caida");
+  engine.prepare("Wiki-Talk");
+  EXPECT_EQ(engine.resident_graphs(), 2u);
+
+  engine.prepare("As-Caida");     // touch: As-Caida is now most recent
+  engine.prepare("RoadNet-CA");   // pushes past the cap
+  EXPECT_EQ(engine.resident_graphs(), 2u);
+  EXPECT_EQ(engine.counters().evictions, 1u);
+
+  // Wiki-Talk (least recently used) was the victim; As-Caida survived.
+  const auto before = engine.counters().prepares;
+  engine.prepare("As-Caida");
+  EXPECT_EQ(engine.counters().prepares, before);  // still cached
+  engine.prepare("Wiki-Talk");
+  EXPECT_EQ(engine.counters().prepares, before + 1);  // was evicted
+}
+
+TEST(EngineEviction, ReleaseDeviceDropsPooledImageOfRawGraph) {
+  Engine engine(small_config());
+  const auto pg = engine.prepare_raw("er", gen::generate_er(100, 400, 3));
+  engine.run("Polak", pg);
+  EXPECT_EQ(engine.counters().uploads, 1u);
+
+  EXPECT_TRUE(engine.release_device(pg));
+  EXPECT_FALSE(engine.release_device(pg));  // already released
+
+  // The next run re-uploads; counts stay correct.
+  EXPECT_TRUE(engine.run("Polak", pg).valid);
+  EXPECT_EQ(engine.counters().uploads, 2u);
 }
 
 TEST(EngineSweep, UnknownDatasetSelectionThrows) {

@@ -133,5 +133,67 @@ TEST_F(OptionsTest, GoogleBenchmarkFlagsPassThrough) {
   EXPECT_NO_THROW(parse({"--benchmark_filter=BM_Merge"}));
 }
 
+TEST_F(OptionsTest, ParsesAlgorithmSelection) {
+  const auto opt = parse({"--algos=Polak,TRUST"});
+  ASSERT_EQ(opt.algos.size(), 2u);
+  EXPECT_EQ(opt.algos[0], "Polak");
+  EXPECT_EQ(opt.algos[1], "TRUST");
+  // --algo appends a single name; repeatable.
+  const auto single = parse({"--algo=GroupTC", "--algo=Polak"});
+  ASSERT_EQ(single.algos.size(), 2u);
+  EXPECT_EQ(single.algos[0], "GroupTC");
+}
+
+TEST_F(OptionsTest, UnknownAlgorithmFailsLoudlyNamingChoices) {
+  // A typo'd kernel must fail with the valid names, not run a default.
+  try {
+    parse({"--algos=Polka"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("Polka"), std::string::npos);
+    EXPECT_NE(msg.find("Polak"), std::string::npos);  // lists valid names
+  }
+  EXPECT_THROW(parse({"--algo=trust"}), std::invalid_argument);  // case matters
+}
+
+TEST_F(OptionsTest, UnknownDatasetErrorNamesValidChoices) {
+  try {
+    parse({"--datasets=As-Ciada"});
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("As-Ciada"), std::string::npos);
+    EXPECT_NE(msg.find("As-Caida"), std::string::npos);  // lists valid names
+  }
+}
+
+TEST_F(OptionsTest, BadNumericErrorNamesFlagAndValue) {
+  try {
+    parse({"--max-edges=12q"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("max-edges"), std::string::npos);
+    EXPECT_NE(msg.find("12q"), std::string::npos);
+  }
+}
+
+TEST_F(OptionsTest, ParsesServeFlags) {
+  const auto opt = parse({"--max-resident=3", "--clients=8", "--queries=500",
+                          "--check-picks=As-Caida:Polak,Soc-Pokec:TRUST"});
+  EXPECT_EQ(opt.max_resident, 3u);
+  EXPECT_EQ(opt.clients, 8u);
+  EXPECT_EQ(opt.queries, 500u);
+  EXPECT_EQ(opt.check_picks, "As-Caida:Polak,Soc-Pokec:TRUST");
+  // Defaults leave them off.
+  const auto def = parse({});
+  EXPECT_EQ(def.max_resident, 0u);
+  EXPECT_EQ(def.clients, 0u);
+  EXPECT_EQ(def.queries, 0u);
+  EXPECT_TRUE(def.check_picks.empty());
+  EXPECT_TRUE(def.algos.empty());
+}
+
 }  // namespace
 }  // namespace tcgpu::framework

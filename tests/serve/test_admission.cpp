@@ -1,0 +1,98 @@
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace tcgpu::serve {
+namespace {
+
+TEST(BoundedQueue, FifoPushPop) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  const auto c = q.counters();
+  EXPECT_EQ(c.admitted, 3u);
+  EXPECT_EQ(c.dequeued, 3u);
+}
+
+TEST(BoundedQueue, NonBlockingModeShedsLoadWhenFull) {
+  BoundedQueue<int> q(2, /*block_when_full=*/false);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_FALSE(q.push(3));  // full -> rejected, not blocked
+  EXPECT_EQ(q.counters().rejected_full, 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1, /*block_when_full=*/true);
+  EXPECT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });  // blocks: full
+  // Wait until the producer is provably parked, then free a slot.
+  while (q.counters().blocked_pushes == 0) std::this_thread::yield();
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.counters().blocked_pushes, 1u);
+}
+
+TEST(BoundedQueue, CloseDrainsBacklogThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // no admission after close
+  EXPECT_EQ(q.counters().rejected_closed, 1u);
+  // Queued items still come out; then nullopt = shutdown signal.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays terminal
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, TakeMatchingExtractsBatchInOrder) {
+  BoundedQueue<std::string> q(8);
+  for (const char* s : {"a1", "b1", "a2", "a3", "b2"}) {
+    EXPECT_TRUE(q.push(std::string(s)));
+  }
+  auto batch = q.take_matching(
+      [](const std::string& s) { return s[0] == 'a'; }, /*max=*/2);
+  ASSERT_EQ(batch.size(), 2u);  // capped at max, FIFO order
+  EXPECT_EQ(batch[0], "a1");
+  EXPECT_EQ(batch[1], "a2");
+  // Non-matching items keep their relative order.
+  EXPECT_EQ(q.pop().value(), "b1");
+  EXPECT_EQ(q.pop().value(), "a3");
+  EXPECT_EQ(q.pop().value(), "b2");
+}
+
+TEST(BoundedQueue, TakeMatchingOnEmptyDoesNotBlock) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.take_matching([](int) { return true; }, 4).empty());
+}
+
+TEST(BoundedQueue, MoveOnlyPayloadsWork) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.push(std::make_unique<int>(7)));
+  auto out = q.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+}  // namespace
+}  // namespace tcgpu::serve

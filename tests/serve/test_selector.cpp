@@ -1,0 +1,168 @@
+#include "serve/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "framework/registry.hpp"
+
+namespace tcgpu::serve {
+namespace {
+
+/// Stats shaped like the small end of the suite (As-Caida at the default
+/// cap): low degree, mild skew.
+graph::GraphStats small_stats() {
+  graph::GraphStats s;
+  s.num_vertices = 15'548;
+  s.num_undirected_edges = 43'000;
+  s.avg_out_degree = 2.77;
+  s.max_out_degree = 10;
+  s.sum_out_degree_sq = 140'448;
+  s.out_degree_skew = 3.6;
+  return s;
+}
+
+/// Stats shaped like the dense end (Web-BerkStan at the default cap).
+graph::GraphStats large_stats() {
+  graph::GraphStats s;
+  s.num_vertices = 8'172;
+  s.num_undirected_edges = 100'000;
+  s.avg_out_degree = 12.24;
+  s.max_out_degree = 91;
+  s.sum_out_degree_sq = 3'137'952;
+  s.out_degree_skew = 7.4;
+  return s;
+}
+
+TEST(SelectorModels, DefaultUniverseMatchesRegistry) {
+  const auto models = Selector::default_models();
+  const auto& algos = framework::all_algorithms();
+  ASSERT_EQ(models.size(), algos.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_EQ(models[i].name, algos[i].name);  // same names, same order
+  }
+}
+
+TEST(SelectorScore, RanksEveryAlgorithmAscending) {
+  Selector sel;
+  const auto ranked = sel.score(small_stats());
+  ASSERT_EQ(ranked.size(), Selector::default_models().size());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].cost.modeled_ms, ranked[i].cost.modeled_ms);
+  }
+  for (const auto& c : ranked) {
+    EXPECT_GT(c.cost.modeled_ms, 0.0);
+    EXPECT_GT(c.cost.work, 0.0);
+    EXPECT_GE(c.cost.launch_ms, 0.0);
+  }
+}
+
+TEST(SelectorChoose, ReturnsArgminOfScore) {
+  Selector sel;
+  const auto ranked = sel.score(small_stats());
+  const auto pick = sel.choose(small_stats());
+  EXPECT_EQ(pick.algorithm, ranked.front().algorithm);
+  EXPECT_DOUBLE_EQ(pick.cost.modeled_ms, ranked.front().cost.modeled_ms);
+}
+
+TEST(SelectorHints, AccuracyExcludesFragileAlgorithms) {
+  Selector sel;
+  for (const auto& c : sel.score(large_stats(), Hint::kAccuracy)) {
+    EXPECT_NE(c.algorithm, "H-INDEX");  // the paper's mis-counting kernel
+  }
+  // kAuto and kLatency score the full registry.
+  EXPECT_EQ(sel.score(large_stats(), Hint::kAuto).size(),
+            sel.score(large_stats(), Hint::kLatency).size());
+}
+
+TEST(SelectorChoose, ThrowsWhenHintFiltersEverything) {
+  std::vector<AlgoModel> only_fragile = {
+      {"H-INDEX", AlgoModel::Work::kHash, 1, 0.8, 0.1, 0.0, 1.0,
+       /*fragile=*/true}};
+  Selector sel(only_fragile, Selector::Config{});
+  EXPECT_NO_THROW(sel.choose(small_stats(), Hint::kAuto));
+  EXPECT_THROW(sel.choose(small_stats(), Hint::kAccuracy), std::logic_error);
+}
+
+TEST(SelectorModel, GroupTcTrustCrossover) {
+  // The paper's headline matchup: TRUST's bucketed hash has the flatter
+  // work curve but degrades with table load, GroupTC's chunked binary
+  // search wins the small graphs. The model must reproduce the crossover.
+  Selector sel;
+  auto cost_of = [&](const char* name, const graph::GraphStats& st) {
+    for (const auto& c : sel.score(st)) {
+      if (c.algorithm == name) return c.cost.modeled_ms;
+    }
+    ADD_FAILURE() << name << " not scored";
+    return 0.0;
+  };
+  EXPECT_LT(cost_of("GroupTC", small_stats()), cost_of("TRUST", small_stats()));
+  EXPECT_LT(cost_of("TRUST", large_stats()), cost_of("GroupTC", large_stats()));
+}
+
+TEST(SelectorRefine, ObservationsFoldDeterministically) {
+  Selector::Config cfg;
+  cfg.refine = true;
+  Selector a(cfg), b(cfg);
+  const auto small = small_stats();
+  const auto large = large_stats();
+  EXPECT_DOUBLE_EQ(a.refinement("Polak", small), 1.0);  // no data yet
+
+  simt::KernelStats fast;  // measured 2x faster than modeled
+  fast.time_ms = a.choose(small).cost.modeled_ms * 0.5;
+  simt::KernelStats slow;
+  slow.time_ms = a.choose(large).cost.modeled_ms * 2.0;
+
+  const std::string algo = a.choose(small).algorithm;
+  // Same observations, opposite arrival order: identical folded state.
+  a.observe(algo, small, fast);
+  a.observe(algo, large, slow);
+  b.observe(algo, large, slow);
+  b.observe(algo, small, fast);
+  EXPECT_DOUBLE_EQ(a.refinement(algo, small), b.refinement(algo, small));
+  EXPECT_DOUBLE_EQ(a.refinement(algo, large), b.refinement(algo, large));
+  EXPECT_EQ(a.observations(), 2u);
+
+  // Corrections are exact per graph: the fast small-graph run pulls that
+  // graph's score down without touching the large graph's, and vice versa.
+  EXPECT_LT(a.refinement(algo, small), 1.0);
+  EXPECT_GT(a.refinement(algo, large), 1.0);
+
+  // Re-observing the same (algorithm, graph) replaces, not accumulates.
+  a.observe(algo, small, fast);
+  EXPECT_EQ(a.observations(), 2u);
+  EXPECT_DOUBLE_EQ(a.refinement(algo, small), b.refinement(algo, small));
+}
+
+TEST(SelectorRefine, RefinementShiftsScoresButStaysClamped) {
+  Selector::Config cfg;
+  cfg.refine = true;
+  Selector sel(cfg);
+  const auto st = small_stats();
+  const auto before = sel.choose(st);
+
+  simt::KernelStats crawl;  // measured wildly slower than modeled
+  crawl.time_ms = before.cost.modeled_ms * 1000.0;
+  sel.observe(before.algorithm, st, crawl);
+  EXPECT_LE(sel.refinement(before.algorithm, st), 4.0);  // clamped
+  // The chosen algorithm's refined score went up on this graph...
+  for (const auto& c : sel.score(st)) {
+    if (c.algorithm == before.algorithm) {
+      EXPECT_GT(c.cost.modeled_ms, before.cost.modeled_ms);
+    }
+  }
+  // ...while an unseen graph's scores are untouched (no cross-graph bleed).
+  EXPECT_DOUBLE_EQ(sel.refinement(before.algorithm, large_stats()), 1.0);
+}
+
+TEST(SelectorRefine, DisabledConfigIgnoresObservations) {
+  Selector::Config cfg;
+  cfg.refine = false;
+  Selector sel(cfg);
+  simt::KernelStats s;
+  s.time_ms = 100.0;
+  sel.observe("Polak", small_stats(), s);
+  EXPECT_EQ(sel.observations(), 0u);
+  EXPECT_DOUBLE_EQ(sel.refinement("Polak", small_stats()), 1.0);
+}
+
+}  // namespace
+}  // namespace tcgpu::serve
