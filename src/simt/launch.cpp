@@ -6,6 +6,16 @@ namespace tcgpu::simt::detail {
 
 void launch_error(const std::string& what) { throw std::runtime_error(what); }
 
+void bounds_error(const char* op, std::size_t i, std::size_t size) {
+  launch_error(std::string("device ") + op + " out of bounds: index " +
+               std::to_string(i) + " size " + std::to_string(size));
+}
+
+void shared_bounds_error(const char* op, std::size_t i, std::size_t size) {
+  launch_error(std::string(op) + " out of bounds: index " + std::to_string(i) +
+               " size " + std::to_string(size));
+}
+
 void validate_config(const GpuSpec& spec, const LaunchConfig& cfg) {
   auto fail = [](const std::string& msg) { throw std::invalid_argument(msg); };
   if (cfg.grid == 0) fail("launch: grid must be >= 1");

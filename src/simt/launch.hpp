@@ -64,6 +64,12 @@ struct LaunchConfig {
 
 namespace detail {
 [[noreturn]] void launch_error(const std::string& what);
+// Out-of-line so the metered access templates contain no string code: the
+// formatting otherwise gets materialized in every kernel lambda, on the
+// hot path of a check that never fires.
+[[noreturn]] void bounds_error(const char* op, std::size_t i, std::size_t size);
+[[noreturn]] void shared_bounds_error(const char* op, std::size_t i,
+                                      std::size_t size);
 void validate_config(const GpuSpec& spec, const LaunchConfig& cfg);
 KernelStats finalize(const GpuSpec& spec, const std::vector<double>& block_cycles,
                      KernelMetrics m, std::uint64_t warps_launched);
@@ -104,41 +110,41 @@ class ThreadCtx {
 
   // --- global memory ------------------------------------------------------
   template <class T>
-  T load(const DeviceBuffer<T>& b, std::size_t i, SrcLoc loc = SrcLoc::current()) {
+  T load(const DeviceBuffer<T>& b, std::size_t i, Site site = Site()) {
     bounds(b, i, "load");
-    record(b.addr_of(i), AccessKind::kGlobalLoad, sizeof(T), loc);
+    record(b.addr_of(i), AccessKind::kGlobalLoad, sizeof(T), site);
     return b.raw()[i];
   }
 
   template <class T>
-  void store(DeviceBuffer<T>& b, std::size_t i, T v, SrcLoc loc = SrcLoc::current()) {
+  void store(DeviceBuffer<T>& b, std::size_t i, T v, Site site = Site()) {
     bounds(b, i, "store");
-    record(b.addr_of(i), AccessKind::kGlobalStore, sizeof(T), loc);
+    record(b.addr_of(i), AccessKind::kGlobalStore, sizeof(T), site);
     b.raw()[i] = v;
   }
 
   template <class T>
-  T atomic_add(DeviceBuffer<T>& b, std::size_t i, T v, SrcLoc loc = SrcLoc::current()) {
+  T atomic_add(DeviceBuffer<T>& b, std::size_t i, T v, Site site = Site()) {
     static_assert(std::is_integral_v<T>);
     bounds(b, i, "atomic_add");
-    record(b.addr_of(i), AccessKind::kGlobalAtomic, sizeof(T), loc);
+    record(b.addr_of(i), AccessKind::kGlobalAtomic, sizeof(T), site);
     return __atomic_fetch_add(&b.raw()[i], v, __ATOMIC_RELAXED);
   }
 
   template <class T>
-  T atomic_or(DeviceBuffer<T>& b, std::size_t i, T v, SrcLoc loc = SrcLoc::current()) {
+  T atomic_or(DeviceBuffer<T>& b, std::size_t i, T v, Site site = Site()) {
     static_assert(std::is_integral_v<T>);
     bounds(b, i, "atomic_or");
-    record(b.addr_of(i), AccessKind::kGlobalAtomic, sizeof(T), loc);
+    record(b.addr_of(i), AccessKind::kGlobalAtomic, sizeof(T), site);
     return __atomic_fetch_or(&b.raw()[i], v, __ATOMIC_RELAXED);
   }
 
   template <class T>
   T atomic_cas(DeviceBuffer<T>& b, std::size_t i, T expected, T desired,
-               SrcLoc loc = SrcLoc::current()) {
+               Site site = Site()) {
     static_assert(std::is_integral_v<T>);
     bounds(b, i, "atomic_cas");
-    record(b.addr_of(i), AccessKind::kGlobalAtomic, sizeof(T), loc);
+    record(b.addr_of(i), AccessKind::kGlobalAtomic, sizeof(T), site);
     __atomic_compare_exchange_n(&b.raw()[i], &expected, desired, false,
                                 __ATOMIC_RELAXED, __ATOMIC_RELAXED);
     return expected;  // prior value on failure, old==expected on success
@@ -151,8 +157,8 @@ class ThreadCtx {
   /// NOTE: phases are distinct program points — a kernel whose build phase
   /// and probe phase touch the same array must use shared_array_tagged.
   template <class T>
-  SharedView<T> shared_array(std::size_t n, SrcLoc loc = SrcLoc::current()) {
-    auto [ptr, off] = arena_->get(site_id(loc), n * sizeof(T), alignof(T));
+  SharedView<T> shared_array(std::size_t n, Site site = Site()) {
+    auto [ptr, off] = arena_->get(site.id(), n * sizeof(T), alignof(T));
     return SharedView<T>(reinterpret_cast<T*>(ptr), off, n);
   }
 
@@ -166,25 +172,24 @@ class ThreadCtx {
   }
 
   template <class T>
-  T shared_load(const SharedView<T>& v, std::size_t i, SrcLoc loc = SrcLoc::current()) {
+  T shared_load(const SharedView<T>& v, std::size_t i, Site site = Site()) {
     sbounds(v, i, "shared_load");
-    record(v.offset_of(i), AccessKind::kSharedLoad, sizeof(T), loc);
+    record(v.offset_of(i), AccessKind::kSharedLoad, sizeof(T), site);
     return v.raw()[i];
   }
 
   template <class T>
-  void shared_store(SharedView<T>& v, std::size_t i, T x, SrcLoc loc = SrcLoc::current()) {
+  void shared_store(SharedView<T>& v, std::size_t i, T x, Site site = Site()) {
     sbounds(v, i, "shared_store");
-    record(v.offset_of(i), AccessKind::kSharedStore, sizeof(T), loc);
+    record(v.offset_of(i), AccessKind::kSharedStore, sizeof(T), site);
     v.raw()[i] = x;
   }
 
   template <class T>
-  T shared_atomic_add(SharedView<T>& v, std::size_t i, T x,
-                      SrcLoc loc = SrcLoc::current()) {
+  T shared_atomic_add(SharedView<T>& v, std::size_t i, T x, Site site = Site()) {
     static_assert(std::is_integral_v<T>);
     sbounds(v, i, "shared_atomic_add");
-    record(v.offset_of(i), AccessKind::kSharedAtomic, sizeof(T), loc);
+    record(v.offset_of(i), AccessKind::kSharedAtomic, sizeof(T), site);
     // Blocks execute on one host thread; plain RMW is exact here.
     T old = v.raw()[i];
     v.raw()[i] = old + x;
@@ -192,11 +197,10 @@ class ThreadCtx {
   }
 
   template <class T>
-  T shared_atomic_or(SharedView<T>& v, std::size_t i, T x,
-                     SrcLoc loc = SrcLoc::current()) {
+  T shared_atomic_or(SharedView<T>& v, std::size_t i, T x, Site site = Site()) {
     static_assert(std::is_integral_v<T>);
     sbounds(v, i, "shared_atomic_or");
-    record(v.offset_of(i), AccessKind::kSharedAtomic, sizeof(T), loc);
+    record(v.offset_of(i), AccessKind::kSharedAtomic, sizeof(T), site);
     T old = v.raw()[i];
     v.raw()[i] = old | x;
     return old;
@@ -208,22 +212,20 @@ class ThreadCtx {
 
  private:
   void record(std::uint64_t addr, AccessKind kind, std::uint8_t size,
-              const SrcLoc& loc) {
-    trace_->events.push_back({addr, site_id(loc), kind, size});
+              Site site) {
+    trace_->push(addr, site.id(), kind, size);
   }
 
   template <class T>
   void bounds(const DeviceBuffer<T>& b, std::size_t i, const char* op) const {
-    if (i >= b.size()) {
-      detail::launch_error(std::string("device ") + op + " out of bounds: index " +
-                           std::to_string(i) + " size " + std::to_string(b.size()));
+    if (i >= b.size()) [[unlikely]] {
+      detail::bounds_error(op, i, b.size());
     }
   }
   template <class T>
   void sbounds(const SharedView<T>& v, std::size_t i, const char* op) const {
-    if (i >= v.size()) {
-      detail::launch_error(std::string(op) + " out of bounds: index " +
-                           std::to_string(i) + " size " + std::to_string(v.size()));
+    if (i >= v.size()) [[unlikely]] {
+      detail::shared_bounds_error(op, i, v.size());
     }
   }
 
@@ -302,11 +304,20 @@ KernelStats launch_items(const GpuSpec& spec, LaunchConfig cfg, std::uint64_t nu
             for (std::uint64_t round = 0;; ++round) {
               const std::uint64_t base_item = round * total_groups + first_group;
               if (base_item >= num_items) break;
-              for (std::uint32_t l = 0; l < 32; ++l) st[w * 32 + l] = State{};
+              // Lane l works on item base_item + l/group_size; lanes past the
+              // last item idle this round. Only the active lanes' state is
+              // reset (and only they run) — tail lanes never touch st.
+              const std::uint64_t items_left = num_items - base_item;
+              const std::uint32_t active_lanes =
+                  items_left * cfg.group_size >= 32
+                      ? 32u
+                      : static_cast<std::uint32_t>(items_left * cfg.group_size);
+              for (std::uint32_t l = 0; l < active_lanes; ++l) {
+                st[w * 32 + l] = State{};
+              }
               auto run_phase = [&](auto&& phase) {
-                for (std::uint32_t l = 0; l < 32; ++l) {
+                for (std::uint32_t l = 0; l < active_lanes; ++l) {
                   const std::uint64_t item = base_item + l / cfg.group_size;
-                  if (item >= num_items) continue;  // tail groups idle
                   const std::uint32_t tid = w * 32 + l;
                   ThreadCtx ctx(spec, cfg, b, tid, agg.lane(l), arena);
                   phase(ctx, st[tid], item);

@@ -3,9 +3,21 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 namespace tcgpu::simt {
 namespace {
+
+/// Briefly de-prioritizes this hardware thread inside a spin loop.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
 
 constexpr std::size_t kTableSize = 1 << 14;  // 16384 slots, power of two
 
@@ -49,9 +61,18 @@ std::uint32_t site_id(const std::source_location& loc) {
         return id;
       }
       if (expected == key) {  // lost the race to the same key
-        // id may still be being written; spin briefly.
+        // The winner publishes the id right after claiming the key. Spin
+        // politely, and past a bound yield the CPU so a descheduled writer
+        // can finish — an unbounded tight spin could livelock the reader on
+        // an oversubscribed machine.
         std::uint32_t id;
+        std::uint32_t spins = 0;
         while ((id = g_table[idx].id.load(std::memory_order_acquire)) == 0) {
+          if (++spins < 128) {
+            cpu_relax();
+          } else {
+            std::this_thread::yield();
+          }
         }
         return id;
       }

@@ -1,10 +1,22 @@
 // Call-site identity for metered accesses.
 //
-// ThreadCtx meters every access with a std::source_location (defaulted at
-// the call site). Occurrence alignment in the warp aggregator needs a dense,
-// cheap-to-compare site id, so this module interns locations into uint32 ids
-// via a lock-free fixed-size hash table (sites are static program points —
-// a few dozen per kernel — so the table never fills in practice).
+// ThreadCtx meters every access with a call-site identity. Occurrence
+// alignment in the warp aggregator needs a dense, cheap-to-compare site id,
+// so this module interns std::source_locations into uint32 ids via a
+// lock-free fixed-size hash table (sites are static program points — a few
+// dozen per kernel — so the table never fills in practice).
+//
+// Resolution cost matters: the simulator issues one metered access per
+// simulated lane event, billions per sweep. Two paths exist:
+//
+//   * SiteToken — resolved once (one intern-table probe), then every use is
+//     a plain load of the cached id. Kernels pin one token per textual call
+//     site with TCGPU_SITE() and pass it to the ThreadCtx entry points.
+//   * Site's source_location fallback — probes the intern table on every
+//     call. Kept for tests and cold call sites; semantically identical.
+//
+// Both paths produce the same site partition: one id per textual program
+// point, stable for the life of the process.
 #pragma once
 
 #include <cstdint>
@@ -18,4 +30,40 @@ std::uint32_t site_id(const std::source_location& loc);
 /// Number of distinct sites interned so far (for tests/diagnostics).
 std::uint32_t site_count();
 
+/// A resolved call-site id. Construct once per program point (function-local
+/// static via TCGPU_SITE(), or a named local hoisted out of a hot loop) and
+/// pass to the metered ThreadCtx entry points; each use is then a plain load
+/// instead of a hash-table probe.
+struct SiteToken {
+  std::uint32_t id = 0;
+  SiteToken() = default;
+  explicit SiteToken(const std::source_location& loc) : id(site_id(loc)) {}
+};
+
+/// Argument adapter for the metered ThreadCtx entry points: accepts either a
+/// cached SiteToken (fast path, a plain load) or nothing, in which case the
+/// caller's source_location is captured and interned per call (slow path).
+class Site {
+ public:
+  Site(const SiteToken& t) : id_(t.id) {}  // NOLINT(google-explicit-constructor)
+  Site(std::source_location loc = std::source_location::current())  // NOLINT
+      : id_(site_id(loc)) {}
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
 }  // namespace tcgpu::simt
+
+/// Expands to a reference to a function-local static SiteToken for this
+/// textual program point: the intern-table probe runs once (thread-safe
+/// magic-static init), every later evaluation is a guarded plain load.
+/// Distinct expansions — even on one line — are distinct sites, exactly like
+/// the source_location default they replace.
+#define TCGPU_SITE()                                            \
+  ([]() noexcept -> const ::tcgpu::simt::SiteToken& {           \
+    static const ::tcgpu::simt::SiteToken tcgpu_cached_site{    \
+        std::source_location::current()};                       \
+    return tcgpu_cached_site;                                   \
+  }())

@@ -2,72 +2,182 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace tcgpu::simt {
 namespace {
 
-/// Collects the distinct 32-byte sectors touched by one aligned group into
-/// `out` (group size <= warp size, so a small insertion set is fastest).
-std::uint32_t distinct_sectors(const std::uint64_t* addrs, std::uint32_t size,
-                               std::uint32_t n, std::uint32_t sector_bytes,
-                               std::array<std::uint64_t, 64>& out) {
+/// Starts a fresh generation in a stamped dedup set: one counter bump, with
+/// a full invalidation only on the (rare) 32-bit wrap.
+template <class Set>
+void stamp_begin(Set& set) {
+  if (++set.cur == 0) {
+    set.gen.fill(0);
+    set.cur = 1;
+  }
+}
+
+/// Returns true iff `k` was already recorded this generation; records it
+/// otherwise. At most 64 live keys in 128 slots, so probes stay short.
+template <class Set>
+bool seen_before(Set& set, std::uint64_t k) {
+  auto slot = static_cast<std::uint32_t>((k * 0x9E3779B97F4A7C15ull) >> 57);
+  for (;; slot = (slot + 1) & 127u) {
+    if (set.gen[slot] != set.cur) {
+      set.gen[slot] = set.cur;
+      set.key[slot] = k;
+      return false;
+    }
+    if (set.key[slot] == k) return true;
+  }
+}
+
+/// Collects the distinct sectors of one aligned group into `out`, in
+/// first-appearance order. Order matters: the caller feeds the sectors
+/// through a stateful direct-mapped cache, so a different install order
+/// would change which colliding sector survives and thereby the DRAM
+/// transaction counts of later groups. Single pass; membership is one
+/// stamped-set probe. Same drop-when-full cap as the monotone path: once
+/// `out` is full nothing is ever emitted again, so the cap check can
+/// short-circuit the probe without changing the result.
+template <class SectorOf, class Set>
+std::uint32_t distinct_sectors_scattered(const std::uint64_t* addrs,
+                                         std::uint32_t size, std::uint32_t n,
+                                         std::array<std::uint64_t, 64>& out,
+                                         SectorOf sector_of, Set& set) {
+  stamp_begin(set);
   std::uint32_t count = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     // A single access can straddle sectors; cover its full byte range.
-    const std::uint64_t first = addrs[i] / sector_bytes;
-    const std::uint64_t last = (addrs[i] + size - 1) / sector_bytes;
+    const std::uint64_t first = sector_of(addrs[i]);
+    const std::uint64_t last = sector_of(addrs[i] + size - 1);
     for (std::uint64_t s = first; s <= last; ++s) {
-      bool seen = false;
-      for (std::uint32_t j = 0; j < count; ++j) {
-        if (out[j] == s) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen && count < out.size()) out[count++] = s;
+      if (count < out.size() && !seen_before(set, s)) out[count++] = s;
     }
   }
   return count;
 }
 
+/// Single-pass variant for groups whose addresses are non-decreasing across
+/// lanes (every coalesced access pattern). First-appearance order is then
+/// simply ascending sector order, so dedup is a comparison against the last
+/// emitted sector: all of [first_i, prev] was already emitted because
+/// addr_i >= addr_{i-1} implies first_i >= first_{i-1} and the previous
+/// access emitted through prev. Returns false (without touching `count`
+/// semantics) when the addresses turn out not to be monotone.
+template <class SectorOf>
+bool distinct_sectors_monotone(const std::uint64_t* addrs, std::uint32_t size,
+                               std::uint32_t n, std::array<std::uint64_t, 64>& out,
+                               SectorOf sector_of, std::uint32_t& count_out) {
+  std::uint32_t count = 0;
+  std::uint64_t prev_addr = 0;
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t a = addrs[i];
+    if (i != 0 && a < prev_addr) return false;
+    prev_addr = a;
+    const std::uint64_t first = sector_of(a);
+    const std::uint64_t last = sector_of(a + size - 1);
+    std::uint64_t s = i == 0 ? first : std::max(first, prev + 1);
+    for (; s <= last; ++s) {
+      // Same drop-when-full cap as the generic paths: overflow sectors are
+      // discarded, never retried.
+      if (count < out.size()) out[count++] = s;
+    }
+    prev = last;  // same size per group, so last_i >= last_{i-1}
+  }
+  count_out = count;
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t WarpAggregator::distinct_sectors(const std::uint64_t* addrs,
+                                               std::uint32_t size, std::uint32_t n,
+                                               std::array<std::uint64_t, 64>& out) {
+  // Every GpuSpec preset uses a power-of-two sector; a shift keeps the
+  // per-lane divide off the critical path (this runs once per lane per
+  // group, the hottest arithmetic in the simulator).
+  const std::uint32_t sector_bytes = spec_->sector_bytes;
+  if (std::has_single_bit(sector_bytes)) {
+    const std::uint32_t shift = std::countr_zero(sector_bytes);
+    const auto sector_of = [shift](std::uint64_t a) { return a >> shift; };
+    std::uint32_t count = 0;
+    if (distinct_sectors_monotone(addrs, size, n, out, sector_of, count)) {
+      return count;
+    }
+    return distinct_sectors_scattered(addrs, size, n, out, sector_of, sector_set_);
+  }
+  const auto sector_of = [sector_bytes](std::uint64_t a) { return a / sector_bytes; };
+  std::uint32_t count = 0;
+  if (distinct_sectors_monotone(addrs, size, n, out, sector_of, count)) {
+    return count;
+  }
+  return distinct_sectors_scattered(addrs, size, n, out, sector_of, sector_set_);
+}
+
 /// Bank-conflict degree of one aligned shared-memory group: the maximum,
 /// over banks, of the number of *distinct words* accessed in that bank.
 /// 1 means conflict-free (or broadcast); d means the access replays d times.
-std::uint32_t conflict_degree(const std::uint64_t* addrs, std::uint32_t n,
-                              std::uint32_t banks) {
-  std::array<std::uint64_t, 32> words;  // distinct words seen
-  std::array<std::uint8_t, 32> per_bank{};
-  std::uint32_t nwords = 0;
+/// The degree depends only on the set of words (order-independent), so the
+/// dedup is a stamped-set probe per lane — no sort, even for the scattered
+/// word patterns of the hash-probe kernels.
+std::uint32_t WarpAggregator::conflict_degree(const std::uint64_t* addrs,
+                                              std::uint32_t n) {
+  const std::uint32_t banks = spec_->shared_banks;
+  const std::uint32_t m = std::min<std::uint32_t>(n, 64);
+  std::array<std::uint8_t, 64> per_bank{};  // banks <= 64 for every GpuSpec preset
+  const bool pow2 = std::has_single_bit(banks);
+  const std::uint64_t mask = banks - 1;  // valid only when pow2
   std::uint32_t worst = 1;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint64_t word = addrs[i] >> 2;
-    bool seen = false;
-    for (std::uint32_t j = 0; j < nwords; ++j) {
-      if (words[j] == word) {
-        seen = true;
-        break;
-      }
-    }
-    if (seen) continue;
-    if (nwords < words.size()) words[nwords++] = word;
-    const std::uint32_t bank = static_cast<std::uint32_t>(word % banks);
+  stamp_begin(word_set_);
+  std::uint64_t prev = 0;
+  bool have_prev = false;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::uint64_t w = addrs[i] >> 2;
+    // Broadcast runs (all lanes reading one word) are common; skip the probe.
+    if (have_prev && w == prev) continue;
+    prev = w;
+    have_prev = true;
+    if (seen_before(word_set_, w)) continue;
+    const std::uint32_t bank =
+        static_cast<std::uint32_t>(pow2 ? (w & mask) : (w % banks));
     per_bank[bank]++;
     worst = std::max<std::uint32_t>(worst, per_bank[bank]);
   }
   return worst;
 }
 
-}  // namespace
+WarpAggregator::WarpAggregator(const GpuSpec& spec)
+    : spec_(&spec), lanes_(spec.warp_size), cache_(spec.l1_cache_sectors) {
+  reset_cache();
+  // Reserve all scratch once, so steady-state flushes never allocate
+  // (the launcher constructs one aggregator per host thread per launch).
+  site_local_.reserve(64);
+  local_ids_.reserve(1024);
+  order_.reserve(1024);
+  slot_count_.reserve(64 * spec.warp_size + 1);
+  slot_cursor_.reserve(64 * spec.warp_size + 1);
+  sorted_addr_.reserve(1024);
+  sorted_meta_.reserve(1024);
+  for (auto& t : lanes_) {
+    t.addr.reserve(64);
+    t.meta.reserve(64);
+  }
+}
 
 std::uint32_t WarpAggregator::cache_access(const std::uint64_t* sectors,
                                            std::uint32_t n) {
   std::uint32_t misses = 0;
   const std::uint32_t mask = spec_->l1_cache_sectors - 1;
+  const std::uint32_t gen = cache_gen_;
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint64_t s = sectors[i];
-    const std::uint32_t slot = static_cast<std::uint32_t>(s) & mask;
-    if (cache_[slot] != s) {
-      cache_[slot] = s;
+    CacheEntry& e = cache_[static_cast<std::uint32_t>(s) & mask];
+    if (e.gen != gen || e.tag != s) {
+      e.tag = s;
+      e.gen = gen;
       ++misses;
     }
   }
@@ -75,10 +185,20 @@ std::uint32_t WarpAggregator::cache_access(const std::uint64_t* sectors,
 }
 
 // The flush groups each lane's k-th access at a call site with every other
-// lane's k-th access there ("occurrence alignment" — see the header). It is
-// implemented as one counting sort keyed by (site, lane), which preserves
-// each lane's program order, so within a (site, lane) slice the events are
-// already in occurrence order — no comparison sort needed on the hot path.
+// lane's k-th access there ("occurrence alignment" — see the header).
+//
+// Two paths produce bit-identical results:
+//   * fast path — when every lane issued the same (site, kind, size)
+//     sequence (the fully-converged common case, detected with one memcmp
+//     per lane), alignment degenerates to position alignment: group k is
+//     simply position k of every lane. Only lane 0's sequence is examined
+//     to derive the group order; no counting sort, no per-event scatter.
+//   * sorted path — one counting sort keyed by (site, lane), which
+//     preserves each lane's program order, so within a (site, lane) slice
+//     the events are already in occurrence order.
+// Both walk the groups in the same order — sites by first appearance,
+// occurrences ascending — so the stateful sector cache and the floating-
+// point cycle accumulator see the same sequence either way.
 double WarpAggregator::flush(KernelMetrics& m) {
   const GpuSpec& spec = *spec_;
   const std::uint32_t W = warp_size();
@@ -87,155 +207,216 @@ double WarpAggregator::flush(KernelMetrics& m) {
   std::uint64_t sum_compute = 0;
   std::size_t total_events = 0;
   bool any = false;
+  bool uniform = true;
+  const std::size_t n0 = lanes_[0].size();
   for (std::uint32_t l = 0; l < W; ++l) {
     const LaneTrace& t = lanes_[l];
     if (!t.empty()) any = true;
     max_compute = std::max(max_compute, t.compute_steps);
     sum_compute += t.compute_steps;
-    total_events += t.events.size();
+    total_events += t.size();
+    uniform = uniform && t.size() == n0;
   }
   if (!any) return 0.0;
 
-  // --- pass 1: intern sites into dense local ids ---------------------------
-  site_local_.clear();
-  auto local_of = [this](std::uint32_t site) -> std::uint32_t {
-    for (std::uint32_t i = 0; i < site_local_.size(); ++i) {
-      if (site_local_[i] == site) return i;
-    }
-    site_local_.push_back(site);
-    return static_cast<std::uint32_t>(site_local_.size() - 1);
-  };
-
-  // --- pass 2: counting sort by (local site, lane) -------------------------
-  // Slot layout: slot = local_site * W + lane.
-  local_ids_.clear();
-  std::size_t pos = 0;
-  for (std::uint32_t l = 0; l < W; ++l) {
-    for (const Event& e : lanes_[l].events) {
-      (void)pos;
-      local_ids_.push_back(local_of(e.site));
-    }
-  }
-  const std::uint32_t S = static_cast<std::uint32_t>(site_local_.size());
-  slot_count_.assign(static_cast<std::size_t>(S) * W + 1, 0);
-  {
-    std::size_t idx = 0;
-    for (std::uint32_t l = 0; l < W; ++l) {
-      for (const Event& e : lanes_[l].events) {
-        (void)e;
-        slot_count_[static_cast<std::size_t>(local_ids_[idx]) * W + l + 1]++;
-        ++idx;
-      }
-    }
-  }
-  for (std::size_t i = 1; i < slot_count_.size(); ++i) {
-    slot_count_[i] += slot_count_[i - 1];
-  }
-  sorted_addr_.resize(total_events);
-  sorted_kind_.resize(total_events);
-  sorted_size_.resize(total_events);
-  slot_cursor_.assign(slot_count_.begin(), slot_count_.end() - 1);
-  {
-    std::size_t idx = 0;
-    for (std::uint32_t l = 0; l < W; ++l) {
-      for (const Event& e : lanes_[l].events) {
-        const std::size_t slot = static_cast<std::size_t>(local_ids_[idx]) * W + l;
-        const std::size_t at = slot_cursor_[slot]++;
-        sorted_addr_[at] = e.addr;
-        sorted_kind_[at] = static_cast<std::uint8_t>(e.kind);
-        sorted_size_[at] = e.size;
-        ++idx;
-      }
-    }
-  }
-
-  // --- pass 3: walk occurrence groups per site ------------------------------
   std::uint64_t steps = max_compute;
   std::uint64_t active = sum_compute;
   double cycles = static_cast<double>(max_compute) * spec.issue_cycles;
 
   std::array<std::uint64_t, 64> addrs;
   std::array<std::uint64_t, 64> sectors;
-  auto global_cost = [&](std::uint32_t n, std::uint8_t size) {
-    const std::uint32_t tx =
-        distinct_sectors(addrs.data(), size, n, spec.sector_bytes, sectors);
-    const std::uint32_t misses = cache_access(sectors.data(), tx);
-    m.global_dram_transactions += misses;
-    cycles += misses * spec.global_cycles_per_transaction +
-              (tx - misses) * spec.l1_hit_cycles;
-    return tx;
-  };
-  for (std::uint32_t s = 0; s < S; ++s) {
-    const std::size_t base = static_cast<std::size_t>(s) * W;
-    std::uint32_t max_occ = 0;
-    for (std::uint32_t l = 0; l < W; ++l) {
-      max_occ = std::max<std::uint32_t>(
-          max_occ,
-          static_cast<std::uint32_t>(slot_count_[base + l + 1] - slot_count_[base + l]));
+  // Charges one aligned group of n accesses (addrs[0..n) filled in lane
+  // order). Shared by both paths so the cost arithmetic is literally the
+  // same code, keeping the modeled cycles bitwise equal.
+  auto charge = [&](std::uint32_t n, AccessKind kind, std::uint8_t size) {
+    steps += 1;
+    active += n;
+    cycles += spec.issue_cycles;
+    auto global_cost = [&]() {
+      const std::uint32_t tx = distinct_sectors(addrs.data(), size, n, sectors);
+      const std::uint32_t misses = cache_access(sectors.data(), tx);
+      m.global_dram_transactions += misses;
+      cycles += misses * spec.global_cycles_per_transaction +
+                (tx - misses) * spec.l1_hit_cycles;
+      return tx;
+    };
+    switch (kind) {
+      case AccessKind::kGlobalLoad: {
+        const std::uint32_t tx = global_cost();
+        m.global_load_requests += 1;
+        m.global_load_transactions += tx;
+        break;
+      }
+      case AccessKind::kGlobalStore: {
+        const std::uint32_t tx = global_cost();
+        m.global_store_requests += 1;
+        m.global_store_transactions += tx;
+        break;
+      }
+      case AccessKind::kGlobalAtomic: {
+        const std::uint32_t tx = global_cost();
+        m.global_atomic_requests += 1;
+        m.global_atomic_transactions += tx;
+        cycles += n * spec.atomic_extra_cycles;
+        break;
+      }
+      case AccessKind::kSharedLoad: {
+        const std::uint32_t deg = conflict_degree(addrs.data(), n);
+        m.shared_load_requests += 1;
+        m.shared_conflict_cycles += deg - 1;
+        cycles += deg * spec.shared_cycles_per_access;
+        break;
+      }
+      case AccessKind::kSharedStore: {
+        const std::uint32_t deg = conflict_degree(addrs.data(), n);
+        m.shared_store_requests += 1;
+        m.shared_conflict_cycles += deg - 1;
+        cycles += deg * spec.shared_cycles_per_access;
+        break;
+      }
+      case AccessKind::kSharedAtomic: {
+        const std::uint32_t deg = conflict_degree(addrs.data(), n);
+        m.shared_atomic_requests += 1;
+        m.shared_conflict_cycles += deg - 1;
+        cycles +=
+            deg * spec.shared_cycles_per_access + n * spec.atomic_extra_cycles;
+        break;
+      }
     }
-    for (std::uint32_t k = 0; k < max_occ; ++k) {
-      std::uint32_t n = 0;
-      AccessKind kind{};
-      std::uint8_t size = 4;
+  };
+
+  // Dense local ids for the sites of this unit, in first-appearance order.
+  // O(1) per lookup: site_map_[site] holds (flush generation | local id), so
+  // starting a fresh unit is a generation bump, not a map clear.
+  auto begin_intern = [this] {
+    site_local_.clear();
+    if (++map_gen_ == 0) {  // stamp wrap: invalidate the slow way, once
+      std::fill(site_map_.begin(), site_map_.end(), 0);
+      map_gen_ = 1;
+    }
+  };
+  auto local_of = [this](std::uint32_t site) -> std::uint32_t {
+    if (site >= site_map_.size()) site_map_.resize(site + 1, 0);
+    std::uint64_t& slot = site_map_[site];
+    if (static_cast<std::uint32_t>(slot >> 32) == map_gen_) {
+      return static_cast<std::uint32_t>(slot);
+    }
+    const auto local = static_cast<std::uint32_t>(site_local_.size());
+    site_local_.push_back(site);
+    slot = (static_cast<std::uint64_t>(map_gen_) << 32) | local;
+    return local;
+  };
+
+  bool converged = uniform && n0 > 0 && W <= addrs.size();
+  if (converged) {
+    const std::uint64_t* meta0 = lanes_[0].meta.data();
+    for (std::uint32_t l = 1; l < W && converged; ++l) {
+      converged = std::memcmp(lanes_[l].meta.data(), meta0,
+                              n0 * sizeof(std::uint64_t)) == 0;
+    }
+  }
+
+  if (converged) {
+    // --- fast path: position alignment, group order from lane 0 only ------
+    const std::uint64_t* meta0 = lanes_[0].meta.data();
+    begin_intern();
+    local_ids_.resize(n0);
+    for (std::size_t p = 0; p < n0; ++p) {
+      local_ids_[p] = local_of(LaneTrace::site_of(meta0[p]));
+    }
+    const std::uint32_t S = static_cast<std::uint32_t>(site_local_.size());
+    slot_count_.assign(S + 1, 0);
+    for (std::size_t p = 0; p < n0; ++p) slot_count_[local_ids_[p] + 1]++;
+    for (std::size_t i = 1; i < slot_count_.size(); ++i) {
+      slot_count_[i] += slot_count_[i - 1];
+    }
+    order_.resize(n0);
+    slot_cursor_.assign(slot_count_.begin(), slot_count_.end() - 1);
+    for (std::size_t p = 0; p < n0; ++p) {
+      order_[slot_cursor_[local_ids_[p]]++] = static_cast<std::uint32_t>(p);
+    }
+    // Hoisted lane address columns: the gather below is the single hottest
+    // loop in the simulator, and indexing lanes_[l].addr re-reads the vector
+    // header every step.
+    std::array<const std::uint64_t*, 64> lane_addr;
+    for (std::uint32_t l = 0; l < W; ++l) lane_addr[l] = lanes_[l].addr.data();
+    for (std::size_t i = 0; i < n0; ++i) {
+      const std::uint32_t p = order_[i];
+      for (std::uint32_t l = 0; l < W; ++l) addrs[l] = lane_addr[l][p];
+      charge(W, LaneTrace::kind_of(meta0[p]), LaneTrace::size_of(meta0[p]));
+    }
+  } else if (total_events != 0) {
+    // --- sorted path: counting sort by (local site, lane) -----------------
+    begin_intern();
+    local_ids_.clear();
+    for (std::uint32_t l = 0; l < W; ++l) {
+      for (const std::uint64_t mt : lanes_[l].meta) {
+        local_ids_.push_back(local_of(LaneTrace::site_of(mt)));
+      }
+    }
+    const std::uint32_t S = static_cast<std::uint32_t>(site_local_.size());
+    slot_count_.assign(static_cast<std::size_t>(S) * W + 1, 0);
+    {
+      std::size_t idx = 0;
       for (std::uint32_t l = 0; l < W; ++l) {
-        const std::size_t lo = slot_count_[base + l];
-        const std::size_t hi = slot_count_[base + l + 1];
-        if (lo + k < hi && n < addrs.size()) {
-          const std::size_t at = lo + k;
-          addrs[n] = sorted_addr_[at];
-          kind = static_cast<AccessKind>(sorted_kind_[at]);
-          size = sorted_size_[at];
-          ++n;
+        const std::size_t cnt = lanes_[l].size();
+        for (std::size_t j = 0; j < cnt; ++j) {
+          slot_count_[static_cast<std::size_t>(local_ids_[idx]) * W + l + 1]++;
+          ++idx;
         }
       }
-      steps += 1;
-      active += n;
-      cycles += spec.issue_cycles;
-      switch (kind) {
-        case AccessKind::kGlobalLoad: {
-          const std::uint32_t tx = global_cost(n, size);
-          m.global_load_requests += 1;
-          m.global_load_transactions += tx;
-          break;
+    }
+    for (std::size_t i = 1; i < slot_count_.size(); ++i) {
+      slot_count_[i] += slot_count_[i - 1];
+    }
+    sorted_addr_.resize(total_events);
+    sorted_meta_.resize(total_events);
+    slot_cursor_.assign(slot_count_.begin(), slot_count_.end() - 1);
+    {
+      std::size_t idx = 0;
+      for (std::uint32_t l = 0; l < W; ++l) {
+        const LaneTrace& t = lanes_[l];
+        const std::size_t cnt = t.size();
+        for (std::size_t j = 0; j < cnt; ++j) {
+          const std::size_t slot = static_cast<std::size_t>(local_ids_[idx]) * W + l;
+          const std::size_t at = slot_cursor_[slot]++;
+          sorted_addr_[at] = t.addr[j];
+          sorted_meta_[at] = t.meta[j];
+          ++idx;
         }
-        case AccessKind::kGlobalStore: {
-          const std::uint32_t tx = global_cost(n, size);
-          m.global_store_requests += 1;
-          m.global_store_transactions += tx;
-          break;
+      }
+    }
+    for (std::uint32_t s = 0; s < S; ++s) {
+      const std::size_t base = static_cast<std::size_t>(s) * W;
+      // Lanes still holding a k-th occurrence, ascending. The set only
+      // shrinks as k grows, so each group costs O(participants), not O(W) —
+      // the skewed trip counts of triangle kernels leave long tails where
+      // one or two lanes are still looping.
+      std::array<std::uint32_t, 64> act;
+      std::uint32_t na = 0;
+      for (std::uint32_t l = 0; l < W; ++l) {
+        if (slot_count_[base + l] < slot_count_[base + l + 1]) act[na++] = l;
+      }
+      for (std::uint32_t k = 0; na != 0; ++k) {
+        std::uint32_t n = 0;
+        std::uint32_t keep = 0;
+        AccessKind kind{};
+        std::uint8_t size = 4;
+        for (std::uint32_t i = 0; i < na; ++i) {
+          const std::uint32_t l = act[i];
+          const std::size_t lo = slot_count_[base + l];
+          const std::size_t hi = slot_count_[base + l + 1];
+          if (lo + k < hi && n < addrs.size()) {
+            const std::size_t at = lo + k;
+            addrs[n] = sorted_addr_[at];
+            kind = LaneTrace::kind_of(sorted_meta_[at]);
+            size = LaneTrace::size_of(sorted_meta_[at]);
+            ++n;
+          }
+          if (lo + k + 1 < hi) act[keep++] = l;
         }
-        case AccessKind::kGlobalAtomic: {
-          const std::uint32_t tx = global_cost(n, size);
-          m.global_atomic_requests += 1;
-          m.global_atomic_transactions += tx;
-          cycles += n * spec.atomic_extra_cycles;
-          break;
-        }
-        case AccessKind::kSharedLoad: {
-          const std::uint32_t deg =
-              conflict_degree(addrs.data(), n, spec.shared_banks);
-          m.shared_load_requests += 1;
-          m.shared_conflict_cycles += deg - 1;
-          cycles += deg * spec.shared_cycles_per_access;
-          break;
-        }
-        case AccessKind::kSharedStore: {
-          const std::uint32_t deg =
-              conflict_degree(addrs.data(), n, spec.shared_banks);
-          m.shared_store_requests += 1;
-          m.shared_conflict_cycles += deg - 1;
-          cycles += deg * spec.shared_cycles_per_access;
-          break;
-        }
-        case AccessKind::kSharedAtomic: {
-          const std::uint32_t deg =
-              conflict_degree(addrs.data(), n, spec.shared_banks);
-          m.shared_atomic_requests += 1;
-          m.shared_conflict_cycles += deg - 1;
-          cycles +=
-              deg * spec.shared_cycles_per_access + n * spec.atomic_extra_cycles;
-          break;
-        }
+        na = keep;
+        charge(n, kind, size);
       }
     }
   }

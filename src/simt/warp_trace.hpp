@@ -17,8 +17,13 @@
 //     hit the same 4-byte-interleaved bank at different word addresses
 //     serialize (same-word access broadcasts);
 //   * cycle cost via the GpuSpec weights.
+//
+// flush() has two implementations with bit-identical output (see the .cpp
+// for the hot-path details): a counting sort over all lanes for divergent
+// warps, and a lane-0-only fast path for fully converged warps.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -30,17 +35,22 @@ namespace tcgpu::simt {
 
 class WarpAggregator {
  public:
-  explicit WarpAggregator(const GpuSpec& spec) : spec_(&spec), lanes_(spec.warp_size) {
-    reset_cache();
-  }
+  explicit WarpAggregator(const GpuSpec& spec);
 
   LaneTrace& lane(std::uint32_t l) { return lanes_[l]; }
   std::uint32_t warp_size() const { return static_cast<std::uint32_t>(lanes_.size()); }
 
   /// Clears the SM sector cache. The launcher calls this when the simulated
   /// block it is executing moves to a fresh SM context, keeping cache state
-  /// deterministic regardless of host-thread scheduling.
-  void reset_cache() { cache_.assign(spec_->l1_cache_sectors, kNoSector); }
+  /// deterministic regardless of host-thread scheduling. O(1): entries are
+  /// generation-stamped, so a reset is one counter bump — a slot is live
+  /// only while its stamp matches the current generation.
+  void reset_cache() {
+    if (++cache_gen_ == 0) {  // stamp wrap: invalidate the slow way, once
+      cache_.assign(cache_.size(), CacheEntry{});
+      cache_gen_ = 1;
+    }
+  }
 
   /// Aggregates all lane traces into `m`, returns the modeled cycle cost of
   /// this unit, and clears the lanes for reuse. A unit with no events and no
@@ -48,23 +58,51 @@ class WarpAggregator {
   double flush(KernelMetrics& m);
 
  private:
-  static constexpr std::uint64_t kNoSector = ~0ull;
+  struct CacheEntry {
+    std::uint64_t tag = 0;   ///< sector id
+    std::uint32_t gen = 0;   ///< live iff == cache_gen_
+  };
+
+  /// Stamped open-addressing dedup scratch for one aligned group (<= 64 live
+  /// keys in 128 slots). "Clearing" between groups is a generation bump, so a
+  /// group costs O(probes), never O(table).
+  struct StampSet {
+    std::array<std::uint64_t, 128> key{};
+    std::array<std::uint32_t, 128> gen{};
+    std::uint32_t cur = 0;
+  };
 
   /// Looks up `n` sector ids in the direct-mapped cache, installing misses.
   /// Returns the number of misses (DRAM transactions).
   std::uint32_t cache_access(const std::uint64_t* sectors, std::uint32_t n);
 
+  /// Distinct 32-byte sectors of one aligned group, in first-appearance
+  /// order (the order the stateful sector cache must see them in).
+  std::uint32_t distinct_sectors(const std::uint64_t* addrs, std::uint32_t size,
+                                 std::uint32_t n,
+                                 std::array<std::uint64_t, 64>& out);
+
+  /// Bank-conflict degree of one aligned shared-memory group.
+  std::uint32_t conflict_degree(const std::uint64_t* addrs, std::uint32_t n);
+
   const GpuSpec* spec_;
   std::vector<LaneTrace> lanes_;
-  std::vector<std::uint64_t> cache_;
-  // Reused counting-sort scratch (see flush() for the layout).
+  std::vector<CacheEntry> cache_;
+  std::uint32_t cache_gen_ = 0;
+  // Reused scratch (see flush() for the layouts).
   std::vector<std::uint32_t> site_local_;
+  // site id -> (flush generation, dense local id): O(1) interning without a
+  // per-flush clear. A slot is live only while its stamp matches map_gen_.
+  std::vector<std::uint64_t> site_map_;
+  std::uint32_t map_gen_ = 0;
   std::vector<std::uint32_t> local_ids_;
+  std::vector<std::uint32_t> order_;
   std::vector<std::size_t> slot_count_;
   std::vector<std::size_t> slot_cursor_;
   std::vector<std::uint64_t> sorted_addr_;
-  std::vector<std::uint8_t> sorted_kind_;
-  std::vector<std::uint8_t> sorted_size_;
+  std::vector<std::uint64_t> sorted_meta_;
+  StampSet sector_set_;  ///< scattered-group sector dedup
+  StampSet word_set_;    ///< scattered-group shared-word dedup
 };
 
 }  // namespace tcgpu::simt

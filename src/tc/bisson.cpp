@@ -30,7 +30,7 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   // graphs keep the direct item == vertex mapping.
   const std::uint64_t items = g.vertex_items();
   auto anchor_of = [&g](simt::ThreadCtx& ctx, std::uint64_t item) {
-    return g.use_anchor_list ? ctx.load(g.anchors, item)
+    return g.use_anchor_list ? ctx.load(g.anchors, item, TCGPU_SITE())
                              : static_cast<std::uint32_t>(item);
   };
 
@@ -50,40 +50,40 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
 
     auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
-        const std::uint32_t v = ctx.load(g.col, i);
+        const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
         if (in_shared) {
           auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
-          ctx.shared_atomic_or(bm, bit_word(v), bit_mask(v));
+          ctx.shared_atomic_or(bm, bit_word(v), bit_mask(v), TCGPU_SITE());
         } else {
           ctx.atomic_or(scratch,
                         static_cast<std::size_t>(ctx.block_id()) * words + bit_word(v),
-                        bit_mask(v));
+                        bit_mask(v), TCGPU_SITE());
         }
       }
     };
     auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       std::uint64_t local = 0;
       // One thread processes one 2-hop list (§III-C).
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
-        const std::uint32_t v = ctx.load(g.col, i);
-        const std::uint32_t vb = ctx.load(g.row_ptr, v);
-        const std::uint32_t vend = ctx.load(g.row_ptr, v + 1);
+        const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
+        const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+        const std::uint32_t vend = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
         for (std::uint32_t j = vb; j < vend; ++j) {
-          const std::uint32_t w = ctx.load(g.col, j);
+          const std::uint32_t w = ctx.load(g.col, j, TCGPU_SITE());
           std::uint32_t word;
           if (in_shared) {
             auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
-            word = ctx.shared_load(bm, bit_word(w));
+            word = ctx.shared_load(bm, bit_word(w), TCGPU_SITE());
           } else {
             word = ctx.load(scratch,
                             static_cast<std::size_t>(ctx.block_id()) * words +
-                                bit_word(w));
+                                bit_word(w), TCGPU_SITE());
           }
           if (word & bit_mask(w)) ++local;
         }
@@ -92,16 +92,16 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     };
     auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
-        const std::uint32_t v = ctx.load(g.col, i);
+        const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
         if (in_shared) {
           auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
-          ctx.shared_store(bm, bit_word(v), 0u);
+          ctx.shared_store(bm, bit_word(v), 0u, TCGPU_SITE());
         } else {
           ctx.store(scratch,
-                    static_cast<std::size_t>(ctx.block_id()) * words + bit_word(v), 0u);
+                    static_cast<std::size_t>(ctx.block_id()) * words + bit_word(v), 0u, TCGPU_SITE());
         }
       }
     };
@@ -127,36 +127,36 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
 
     auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
-        const std::uint32_t v = ctx.load(g.col, i);
-        ctx.atomic_or(scratch, slot(ctx) + bit_word(v), bit_mask(v));
+        const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
+        ctx.atomic_or(scratch, slot(ctx) + bit_word(v), bit_mask(v), TCGPU_SITE());
       }
     };
     auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       std::uint64_t local = 0;
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
-        const std::uint32_t v = ctx.load(g.col, i);
-        const std::uint32_t vb = ctx.load(g.row_ptr, v);
-        const std::uint32_t vend = ctx.load(g.row_ptr, v + 1);
+        const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
+        const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+        const std::uint32_t vend = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
         for (std::uint32_t j = vb; j < vend; ++j) {
-          const std::uint32_t w = ctx.load(g.col, j);
-          if (ctx.load(scratch, slot(ctx) + bit_word(w)) & bit_mask(w)) ++local;
+          const std::uint32_t w = ctx.load(g.col, j, TCGPU_SITE());
+          if (ctx.load(scratch, slot(ctx) + bit_word(w), TCGPU_SITE()) & bit_mask(w)) ++local;
         }
       }
       flush_count(ctx, counter, local);
     };
     auto clear_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
-        const std::uint32_t v = ctx.load(g.col, i);
-        ctx.store(scratch, slot(ctx) + bit_word(v), 0u);
+        const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
+        ctx.store(scratch, slot(ctx) + bit_word(v), 0u, TCGPU_SITE());
       }
     };
 
@@ -178,17 +178,17 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         spec, cfg, items,
         [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
           const std::uint32_t u = anchor_of(ctx, item);
-          const std::uint32_t ub = ctx.load(g.row_ptr, u);
-          const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+          const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+          const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
           std::uint64_t local = 0;
           for (std::uint32_t i = ub; i < ue; ++i) {
-            const std::uint32_t v = ctx.load(g.col, i);
+            const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
             std::uint32_t pa = i + 1;  // N+(u) ∩ N+(v); both sorted, w > v
-            std::uint32_t pb = ctx.load(g.row_ptr, v);
-            const std::uint32_t eb = ctx.load(g.row_ptr, v + 1);
+            std::uint32_t pb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+            const std::uint32_t eb = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
             while (pa < ue && pb < eb) {
-              const std::uint32_t a = ctx.load(g.col, pa);
-              const std::uint32_t b = ctx.load(g.col, pb);
+              const std::uint32_t a = ctx.load(g.col, pa, TCGPU_SITE());
+              const std::uint32_t b = ctx.load(g.col, pb, TCGPU_SITE());
               if (a == b) {
                 ++local;
                 ++pa;

@@ -59,7 +59,7 @@ inline bool device_binary_search(simt::ThreadCtx& ctx,
                                  std::uint32_t key) {
   while (lo < hi) {
     const std::uint32_t mid = lo + (hi - lo) / 2;
-    const std::uint32_t v = ctx.load(col, mid);
+    const std::uint32_t v = ctx.load(col, mid, TCGPU_SITE());
     if (v == key) return true;
     if (v < key) {
       lo = mid + 1;
@@ -78,7 +78,7 @@ inline std::uint32_t device_upper_bound(simt::ThreadCtx& ctx,
                                         std::uint32_t key) {
   while (lo < hi) {
     const std::uint32_t mid = lo + (hi - lo) / 2;
-    const std::uint32_t v = ctx.load(col, mid);
+    const std::uint32_t v = ctx.load(col, mid, TCGPU_SITE());
     if (v <= key) {
       lo = mid + 1;
     } else {
@@ -92,7 +92,7 @@ inline std::uint32_t device_upper_bound(simt::ThreadCtx& ctx,
 /// atomic per thread that found anything, as the published kernels do).
 inline void flush_count(simt::ThreadCtx& ctx, simt::DeviceBuffer<std::uint64_t>& counter,
                         std::uint64_t local) {
-  if (local != 0) ctx.atomic_add(counter, 0, local);
+  if (local != 0) ctx.atomic_add(counter, 0, local, TCGPU_SITE());
 }
 
 /// Grid size heuristic: enough blocks to cover the items once, bounded so

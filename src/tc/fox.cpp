@@ -54,13 +54,13 @@ AlgoResult FoxCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     auto stats = simt::launch_items<simt::NoState>(
         spec, cfg, bins[n].size(),
         [&, team](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
-          const std::uint32_t e = ctx.load(edge_ids, item);
-          const std::uint32_t u = ctx.load(g.edge_u, e);
-          const std::uint32_t v = ctx.load(g.edge_v, e);
-          const std::uint32_t ub = ctx.load(g.row_ptr, u);
-          const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-          const std::uint32_t vb = ctx.load(g.row_ptr, v);
-          const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+          const std::uint32_t e = ctx.load(edge_ids, item, TCGPU_SITE());
+          const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+          const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+          const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+          const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+          const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+          const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
           std::uint32_t table_lo, table_hi, key_lo, key_hi;
           if (ue - ub >= ve - vb) {  // search the longer list
             table_lo = ub;
@@ -75,7 +75,7 @@ AlgoResult FoxCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
           }
           std::uint64_t local = 0;
           for (std::uint32_t i = key_lo + ctx.group_lane(); i < key_hi; i += team) {
-            const std::uint32_t key = ctx.load(g.col, i);
+            const std::uint32_t key = ctx.load(g.col, i, TCGPU_SITE());
             if (device_binary_search(ctx, g.col, table_lo, table_hi, key)) ++local;
           }
           flush_count(ctx, counter, local);

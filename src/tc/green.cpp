@@ -16,12 +16,12 @@ AlgoResult GreenCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   auto stats = simt::launch_items<simt::NoState>(
       spec, cfg, g.num_edges,
       [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
-        const std::uint32_t u = ctx.load(g.edge_u, e);
-        const std::uint32_t v = ctx.load(g.edge_v, e);
-        const std::uint32_t ub = ctx.load(g.row_ptr, u);
-        const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-        const std::uint32_t vb = ctx.load(g.row_ptr, v);
-        const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+        const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+        const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+        const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+        const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+        const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+        const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
         const std::uint32_t la = ue - ub;
         if (la == 0 || ve == vb) return;
 
@@ -36,12 +36,12 @@ AlgoResult GreenCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
                                             team);
         if (chunk_lo >= chunk_hi) return;
 
-        const std::uint32_t first = ctx.load(g.col, chunk_lo);
+        const std::uint32_t first = ctx.load(g.col, chunk_lo, TCGPU_SITE());
         // lower_bound(B, first)
         std::uint32_t lo = vb, hi = ve;
         while (lo < hi) {
           const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.load(g.col, mid) < first) {
+          if (ctx.load(g.col, mid, TCGPU_SITE()) < first) {
             lo = mid + 1;
           } else {
             hi = mid;
@@ -52,15 +52,15 @@ AlgoResult GreenCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         std::uint32_t pa = chunk_lo, pb = lo;
         std::uint32_t a = first;
         while (pa < chunk_hi && pb < ve) {
-          const std::uint32_t b = ctx.load(g.col, pb);
+          const std::uint32_t b = ctx.load(g.col, pb, TCGPU_SITE());
           if (a == b) {
             ++local;
             ++pa;
             ++pb;
-            if (pa < chunk_hi) a = ctx.load(g.col, pa);
+            if (pa < chunk_hi) a = ctx.load(g.col, pa, TCGPU_SITE());
           } else if (a < b) {
             ++pa;
-            if (pa < chunk_hi) a = ctx.load(g.col, pa);
+            if (pa < chunk_hi) a = ctx.load(g.col, pa, TCGPU_SITE());
           } else {
             ++pb;
           }

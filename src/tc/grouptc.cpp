@@ -60,12 +60,12 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     const std::uint64_t e = chunk * n + tid;
     std::uint32_t d_tlo = 0, d_thi = 0, d_klo = 0, d_klen = 0;
     if (e < g.num_edges) {
-      const std::uint32_t u = ctx.load(g.edge_u, e);
-      const std::uint32_t v = ctx.load(g.edge_v, e);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-      const std::uint32_t vb = ctx.load(g.row_ptr, v);
-      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+      const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+      const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
       // Optimization 1: only the suffix of N+(u) beyond v can match, since
       // every key in N+(v) exceeds v (u < v ordering). Edges with an empty
       // suffix need no search at all ("for the edge (0,8), no search is
@@ -93,10 +93,10 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         }
       }
     }
-    ctx.shared_store(t_lo, tid, d_tlo);
-    ctx.shared_store(t_hi, tid, d_thi);
-    ctx.shared_store(k_lo, tid, d_klo);
-    ctx.shared_store(pa, tid, d_klen);
+    ctx.shared_store(t_lo, tid, d_tlo, TCGPU_SITE());
+    ctx.shared_store(t_hi, tid, d_thi, TCGPU_SITE());
+    ctx.shared_store(k_lo, tid, d_klo, TCGPU_SITE());
+    ctx.shared_store(pa, tid, d_klen, TCGPU_SITE());
   };
 
   // Hillis-Steele scan round: reads one buffer, writes the other (the
@@ -106,11 +106,11 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       auto src = from_a ? prefix_a(ctx) : prefix_b(ctx);
       auto dst = from_a ? prefix_b(ctx) : prefix_a(ctx);
       const std::uint32_t tid = ctx.thread_in_block();
-      std::uint32_t v = ctx.shared_load(src, tid);
+      std::uint32_t v = ctx.shared_load(src, tid, TCGPU_SITE());
       if (stride < n && tid >= stride) {
-        v += ctx.shared_load(src, tid - stride);
+        v += ctx.shared_load(src, tid - stride, TCGPU_SITE());
       }
-      ctx.shared_store(dst, tid, v);
+      ctx.shared_store(dst, tid, v, TCGPU_SITE());
     };
   };
 
@@ -123,7 +123,7 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     auto k_lo = key_lo_arr(ctx);
     auto prefix = prefix_a(ctx);
 
-    const std::uint32_t total = ctx.shared_load(prefix, n - 1);
+    const std::uint32_t total = ctx.shared_load(prefix, n - 1, TCGPU_SITE());
     std::uint64_t local = 0;
     // Registers describing the edge the thread is currently inside; a
     // thread's key indices ascend by n, so while they stay inside
@@ -138,29 +138,29 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         std::uint32_t lo = 0, hi = n;
         while (lo < hi) {
           const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.shared_load(prefix, mid) > kidx) {
+          if (ctx.shared_load(prefix, mid, TCGPU_SITE()) > kidx) {
             hi = mid;
           } else {
             lo = mid + 1;
           }
         }
         const std::uint32_t j = lo;
-        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1);
-        cur_limit = ctx.shared_load(prefix, j);
-        cur_tlo = ctx.shared_load(t_lo, j);
-        cur_thi = ctx.shared_load(t_hi, j);
-        cur_klo = ctx.shared_load(k_lo, j);
+        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1, TCGPU_SITE());
+        cur_limit = ctx.shared_load(prefix, j, TCGPU_SITE());
+        cur_tlo = ctx.shared_load(t_lo, j, TCGPU_SITE());
+        cur_thi = ctx.shared_load(t_hi, j, TCGPU_SITE());
+        cur_klo = ctx.shared_load(k_lo, j, TCGPU_SITE());
         resume = cur_tlo;
       }
       const std::uint32_t koff = kidx - cur_base;
-      const std::uint32_t key = ctx.load(g.col, cur_klo + koff);
+      const std::uint32_t key = ctx.load(g.col, cur_klo + koff, TCGPU_SITE());
       // Binary search; on exit `slo` is a safe resume point for the next
       // (strictly larger) key of this edge (optimization 2).
       std::uint32_t slo = monotone ? resume : cur_tlo;
       std::uint32_t shi = cur_thi;
       while (slo < shi) {
         const std::uint32_t mid = slo + (shi - slo) / 2;
-        const std::uint32_t val = ctx.load(g.col, mid);
+        const std::uint32_t val = ctx.load(g.col, mid, TCGPU_SITE());
         if (val == key) {
           ++local;
           slo = mid + 1;

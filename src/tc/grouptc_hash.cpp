@@ -63,7 +63,7 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
   auto reset = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
     if (ctx.thread_in_block() == 0) {
       auto cursor = cursor_arr(ctx);
-      ctx.shared_store(cursor, 0, 0u);
+      ctx.shared_store(cursor, 0, 0u, TCGPU_SITE());
     }
   };
 
@@ -81,12 +81,12 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
     std::uint32_t d_tlo = 0, d_thi = 0, d_klo = 0, d_klen = 0;
     std::uint32_t d_off = kFallback, d_cap = 0;
     if (e < g.num_edges) {
-      const std::uint32_t u = ctx.load(g.edge_u, e);
-      const std::uint32_t v = ctx.load(g.edge_v, e);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-      const std::uint32_t vb = ctx.load(g.row_ptr, v);
-      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+      const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+      const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
       const std::uint32_t a_lo =
           prefix_skip ? device_upper_bound(ctx, g.col, ub, ue, v) : ub;
       const std::uint32_t a_len = ue - a_lo;
@@ -101,7 +101,7 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
         // table" concern, resolved by a bounded pool).
         const std::uint32_t want = pow2_at_least(a_len * 2);
         if (want <= pool_entries) {
-          const std::uint32_t off = ctx.shared_atomic_add(cursor, 0, want);
+          const std::uint32_t off = ctx.shared_atomic_add(cursor, 0, want, TCGPU_SITE());
           if (off + want <= pool_entries) {
             d_off = off;
             d_cap = want;
@@ -109,12 +109,12 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
         }
       }
     }
-    ctx.shared_store(t_lo, tid, d_tlo);
-    ctx.shared_store(t_hi, tid, d_thi);
-    ctx.shared_store(k_lo, tid, d_klo);
-    ctx.shared_store(k_len, tid, d_klen);
-    ctx.shared_store(h_off, tid, d_off);
-    ctx.shared_store(h_cap, tid, d_cap);
+    ctx.shared_store(t_lo, tid, d_tlo, TCGPU_SITE());
+    ctx.shared_store(t_hi, tid, d_thi, TCGPU_SITE());
+    ctx.shared_store(k_lo, tid, d_klo, TCGPU_SITE());
+    ctx.shared_store(k_len, tid, d_klen, TCGPU_SITE());
+    ctx.shared_store(h_off, tid, d_off, TCGPU_SITE());
+    ctx.shared_store(h_cap, tid, d_cap, TCGPU_SITE());
   };
 
   // Phase 2: each thread initializes and builds its edge's hash region.
@@ -125,18 +125,18 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
     auto h_cap = hash_cap_arr(ctx);
     auto pool = pool_arr(ctx);
     const std::uint32_t tid = ctx.thread_in_block();
-    const std::uint32_t off = ctx.shared_load(h_off, tid);
+    const std::uint32_t off = ctx.shared_load(h_off, tid, TCGPU_SITE());
     if (off == kFallback) return;
-    const std::uint32_t cap = ctx.shared_load(h_cap, tid);
-    for (std::uint32_t i = 0; i < cap; ++i) ctx.shared_store(pool, off + i, kEmpty);
-    const std::uint32_t lo = ctx.shared_load(t_lo, tid);
-    const std::uint32_t hi = ctx.shared_load(t_hi, tid);
+    const std::uint32_t cap = ctx.shared_load(h_cap, tid, TCGPU_SITE());
+    for (std::uint32_t i = 0; i < cap; ++i) ctx.shared_store(pool, off + i, kEmpty, TCGPU_SITE());
+    const std::uint32_t lo = ctx.shared_load(t_lo, tid, TCGPU_SITE());
+    const std::uint32_t hi = ctx.shared_load(t_hi, tid, TCGPU_SITE());
     for (std::uint32_t i = lo; i < hi; ++i) {
-      const std::uint32_t x = ctx.load(g.col, i);
+      const std::uint32_t x = ctx.load(g.col, i, TCGPU_SITE());
       ctx.compute(1);  // hash
       std::uint32_t idx = hash_mix(x) & (cap - 1);
-      while (ctx.shared_load(pool, off + idx) != kEmpty) idx = (idx + 1) & (cap - 1);
-      ctx.shared_store(pool, off + idx, x);
+      while (ctx.shared_load(pool, off + idx, TCGPU_SITE()) != kEmpty) idx = (idx + 1) & (cap - 1);
+      ctx.shared_store(pool, off + idx, x, TCGPU_SITE());
     }
   };
 
@@ -146,11 +146,11 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
       auto src = from_a ? prefix_a(ctx) : prefix_b(ctx);
       auto dst = from_a ? prefix_b(ctx) : prefix_a(ctx);
       const std::uint32_t tid = ctx.thread_in_block();
-      std::uint32_t v = ctx.shared_load(src, tid);
+      std::uint32_t v = ctx.shared_load(src, tid, TCGPU_SITE());
       if (stride < n && tid >= stride) {
-        v += ctx.shared_load(src, tid - stride);
+        v += ctx.shared_load(src, tid - stride, TCGPU_SITE());
       }
-      ctx.shared_store(dst, tid, v);
+      ctx.shared_store(dst, tid, v, TCGPU_SITE());
     };
   };
 
@@ -164,7 +164,7 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
     auto h_cap = hash_cap_arr(ctx);
     auto pool = pool_arr(ctx);
 
-    const std::uint32_t total = ctx.shared_load(prefix, n - 1);
+    const std::uint32_t total = ctx.shared_load(prefix, n - 1, TCGPU_SITE());
     std::uint64_t local = 0;
     std::uint32_t cur_base = 0, cur_limit = 0;
     std::uint32_t cur_tlo = 0, cur_thi = 0, cur_klo = 0;
@@ -175,28 +175,28 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
         std::uint32_t lo = 0, hi = n;
         while (lo < hi) {
           const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.shared_load(prefix, mid) > kidx) {
+          if (ctx.shared_load(prefix, mid, TCGPU_SITE()) > kidx) {
             hi = mid;
           } else {
             lo = mid + 1;
           }
         }
         const std::uint32_t j = lo;
-        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1);
-        cur_limit = ctx.shared_load(prefix, j);
-        cur_tlo = ctx.shared_load(t_lo, j);
-        cur_thi = ctx.shared_load(t_hi, j);
-        cur_klo = ctx.shared_load(k_lo, j);
-        cur_off = ctx.shared_load(h_off, j);
-        cur_cap = ctx.shared_load(h_cap, j);
+        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1, TCGPU_SITE());
+        cur_limit = ctx.shared_load(prefix, j, TCGPU_SITE());
+        cur_tlo = ctx.shared_load(t_lo, j, TCGPU_SITE());
+        cur_thi = ctx.shared_load(t_hi, j, TCGPU_SITE());
+        cur_klo = ctx.shared_load(k_lo, j, TCGPU_SITE());
+        cur_off = ctx.shared_load(h_off, j, TCGPU_SITE());
+        cur_cap = ctx.shared_load(h_cap, j, TCGPU_SITE());
       }
       const std::uint32_t koff = kidx - cur_base;
-      const std::uint32_t key = ctx.load(g.col, cur_klo + koff);
+      const std::uint32_t key = ctx.load(g.col, cur_klo + koff, TCGPU_SITE());
       if (cur_off != kFallback) {
         ctx.compute(1);  // hash
         std::uint32_t idx = hash_mix(key) & (cur_cap - 1);
         while (true) {
-          const std::uint32_t val = ctx.shared_load(pool, cur_off + idx);
+          const std::uint32_t val = ctx.shared_load(pool, cur_off + idx, TCGPU_SITE());
           if (val == key) {
             ++local;
             break;

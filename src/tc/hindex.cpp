@@ -47,18 +47,18 @@ AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     auto ovf = ovf_cursor(ctx);
     const std::uint32_t t = team_in_block(ctx);
     for (std::uint32_t i = team_lane(ctx); i < buckets; i += team_size) {
-      ctx.shared_store(len, t * buckets + i, 0u);
+      ctx.shared_store(len, t * buckets + i, 0u, TCGPU_SITE());
     }
-    if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u);
+    if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u, TCGPU_SITE());
   };
 
   auto build = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
-    const std::uint32_t u = ctx.load(g.edge_u, e);
-    const std::uint32_t v = ctx.load(g.edge_v, e);
-    const std::uint32_t ub = ctx.load(g.row_ptr, u);
-    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-    const std::uint32_t vb = ctx.load(g.row_ptr, v);
-    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+    const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+    const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+    const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
     // Shorter list builds the table (reduces collisions, §III-G).
     const bool u_shorter = (ue - ub) <= (ve - vb);
     const std::uint32_t lo = u_shorter ? ub : vb;
@@ -72,27 +72,27 @@ AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         ctx.block_id() * teams_per_block + t;
 
     for (std::uint32_t i = lo + team_lane(ctx); i < hi; i += team_size) {
-      const std::uint32_t x = ctx.load(g.col, i);
+      const std::uint32_t x = ctx.load(g.col, i, TCGPU_SITE());
       ctx.compute(1);  // hash
       const std::uint32_t b = x % buckets;
-      const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u);
+      const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u, TCGPU_SITE());
       if (pos < slots) {
-        ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x);
+        ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x, TCGPU_SITE());
       } else {
-        const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u);
+        const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u, TCGPU_SITE());
         ctx.store(overflow, static_cast<std::size_t>(team_global) * ovf_cap + opos,
-                  x);
+                  x, TCGPU_SITE());
       }
     }
   };
 
   auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
-    const std::uint32_t u = ctx.load(g.edge_u, e);
-    const std::uint32_t v = ctx.load(g.edge_v, e);
-    const std::uint32_t ub = ctx.load(g.row_ptr, u);
-    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-    const std::uint32_t vb = ctx.load(g.row_ptr, v);
-    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+    const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+    const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+    const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
     const bool u_shorter = (ue - ub) <= (ve - vb);
     const std::uint32_t qlo = u_shorter ? vb : ub;  // longer list = queries
     const std::uint32_t qhi = u_shorter ? ve : ue;
@@ -106,21 +106,21 @@ AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
 
     std::uint64_t local = 0;
     for (std::uint32_t i = qlo + team_lane(ctx); i < qhi; i += team_size) {
-      const std::uint32_t key = ctx.load(g.col, i);
+      const std::uint32_t key = ctx.load(g.col, i, TCGPU_SITE());
       ctx.compute(1);  // hash
       const std::uint32_t b = key % buckets;
-      const std::uint32_t blen = ctx.shared_load(len, t * buckets + b);
+      const std::uint32_t blen = ctx.shared_load(len, t * buckets + b, TCGPU_SITE());
       bool hit = false;
       const std::uint32_t in_shared = std::min(blen, slots);
       for (std::uint32_t s = 0; s < in_shared && !hit; ++s) {
-        hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b) == key;
+        hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b, TCGPU_SITE()) == key;
       }
       if (!hit && blen > slots) {
         // This bucket spilled; scan the team's overflow region linearly.
-        const std::uint32_t olen = ctx.shared_load(ovf, t);
+        const std::uint32_t olen = ctx.shared_load(ovf, t, TCGPU_SITE());
         for (std::uint32_t j = 0; j < olen && !hit; ++j) {
           hit = ctx.load(overflow,
-                         static_cast<std::size_t>(team_global) * ovf_cap + j) == key;
+                         static_cast<std::size_t>(team_global) * ovf_cap + j, TCGPU_SITE()) == key;
         }
       }
       if (hit) ++local;

@@ -19,25 +19,25 @@ AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   // Phase 1 — "Caching neighbors": stage min(d+(u), cache_cap) of N+(u).
   auto stage = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
     const std::uint32_t u = g.use_anchor_list
-                                ? ctx.load(g.anchors, item)
+                                ? ctx.load(g.anchors, item, TCGPU_SITE())
                                 : static_cast<std::uint32_t>(item);
-    const std::uint32_t ub = ctx.load(g.row_ptr, u);
-    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
     const std::uint32_t staged = std::min(ue - ub, cache_cap);
     auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
     for (std::uint32_t i = ctx.thread_in_block(); i < staged; i += ctx.block_dim()) {
-      ctx.shared_store(cache, i, ctx.load(g.col, ub + i));
+      ctx.shared_store(cache, i, ctx.load(g.col, ub + i, TCGPU_SITE()), TCGPU_SITE());
     }
   };
 
   // Phase 2 — "Fine-grained search": Algorithm 1 of the paper.
   auto search = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
     const std::uint32_t u = g.use_anchor_list
-                                ? ctx.load(g.anchors, item)
+                                ? ctx.load(g.anchors, item, TCGPU_SITE())
                                 : static_cast<std::uint32_t>(item);
     auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
-    const std::uint32_t ub = ctx.load(g.row_ptr, u);     // col[u]
-    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1); // col[u+1]
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());     // col[u]
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE()); // col[u+1]
     const std::uint32_t u_deg = ue - ub;
     if (u_deg == 0) return;
     const std::uint32_t staged = std::min(u_deg, cache_cap);
@@ -45,9 +45,9 @@ AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     std::uint64_t tc = 0;
     std::uint32_t v_offset = ctx.thread_in_block();  // Alg.1 line 2
     std::uint32_t u_point = ub;                      // Alg.1 line 3
-    std::uint32_t v = ctx.load(g.col, u_point);      // Alg.1 line 5
-    std::uint32_t v_point = ctx.load(g.row_ptr, v);
-    std::uint32_t v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+    std::uint32_t v = ctx.load(g.col, u_point, TCGPU_SITE());      // Alg.1 line 5
+    std::uint32_t v_point = ctx.load(g.row_ptr, v, TCGPU_SITE());
+    std::uint32_t v_degree = ctx.load(g.row_ptr, v + 1, TCGPU_SITE()) - v_point;
 
     while (u_point < ue) {  // Alg.1 line 4
       // Advance to the v whose 2-hop slice contains v_offset (lines 9-14).
@@ -55,19 +55,19 @@ AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         v_offset -= v_degree;
         ++u_point;
         if (u_point >= ue) break;
-        v = ctx.load(g.col, u_point);
-        v_point = ctx.load(g.row_ptr, v);
-        v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+        v = ctx.load(g.col, u_point, TCGPU_SITE());
+        v_point = ctx.load(g.row_ptr, v, TCGPU_SITE());
+        v_degree = ctx.load(g.row_ptr, v + 1, TCGPU_SITE()) - v_point;
       }
       if (u_point < ue) {  // lines 15-18
-        const std::uint32_t w = ctx.load(g.col, v_point + v_offset);
+        const std::uint32_t w = ctx.load(g.col, v_point + v_offset, TCGPU_SITE());
         // binSearch(w, u): shared for the staged prefix, global beyond.
         std::uint32_t lo = 0, hi = u_deg;
         while (lo < hi) {
           const std::uint32_t mid = lo + (hi - lo) / 2;
           const std::uint32_t val = mid < staged
-                                        ? ctx.shared_load(cache, mid)
-                                        : ctx.load(g.col, ub + mid);
+                                        ? ctx.shared_load(cache, mid, TCGPU_SITE())
+                                        : ctx.load(g.col, ub + mid, TCGPU_SITE());
           if (val == w) {
             ++tc;
             break;

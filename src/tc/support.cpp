@@ -53,12 +53,12 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
     const std::uint64_t e = chunk * n + tid;
     std::uint32_t d_tlo = 0, d_thi = 0, d_klo = 0, d_klen = 0;
     if (e < g.num_edges) {
-      const std::uint32_t u = ctx.load(g.edge_u, e);
-      const std::uint32_t v = ctx.load(g.edge_v, e);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-      const std::uint32_t vb = ctx.load(g.row_ptr, v);
-      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+      const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+      const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
       const std::uint32_t a_lo = device_upper_bound(ctx, g.col, ub, ue, v);
       if (ue - a_lo != 0 && ve - vb != 0) {
         d_tlo = a_lo;
@@ -67,11 +67,11 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
         d_klen = ve - vb;
       }
     }
-    ctx.shared_store(t_lo, tid, d_tlo);
-    ctx.shared_store(t_hi, tid, d_thi);
-    ctx.shared_store(k_lo, tid, d_klo);
-    ctx.shared_store(e_id, tid, static_cast<std::uint32_t>(e));
-    ctx.shared_store(pa, tid, d_klen);
+    ctx.shared_store(t_lo, tid, d_tlo, TCGPU_SITE());
+    ctx.shared_store(t_hi, tid, d_thi, TCGPU_SITE());
+    ctx.shared_store(k_lo, tid, d_klo, TCGPU_SITE());
+    ctx.shared_store(e_id, tid, static_cast<std::uint32_t>(e), TCGPU_SITE());
+    ctx.shared_store(pa, tid, d_klen, TCGPU_SITE());
   };
 
   auto scan_round = [&](std::uint32_t stride, bool from_a) {
@@ -79,11 +79,11 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
       auto src = from_a ? prefix_a(ctx) : prefix_b(ctx);
       auto dst = from_a ? prefix_b(ctx) : prefix_a(ctx);
       const std::uint32_t tid = ctx.thread_in_block();
-      std::uint32_t v = ctx.shared_load(src, tid);
+      std::uint32_t v = ctx.shared_load(src, tid, TCGPU_SITE());
       if (stride < n && tid >= stride) {
-        v += ctx.shared_load(src, tid - stride);
+        v += ctx.shared_load(src, tid - stride, TCGPU_SITE());
       }
-      ctx.shared_store(dst, tid, v);
+      ctx.shared_store(dst, tid, v, TCGPU_SITE());
     };
   };
 
@@ -94,7 +94,7 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
     auto e_id = edge_id_arr(ctx);
     auto prefix = prefix_a(ctx);
 
-    const std::uint32_t total = ctx.shared_load(prefix, n - 1);
+    const std::uint32_t total = ctx.shared_load(prefix, n - 1, TCGPU_SITE());
     std::uint32_t cur_base = 0, cur_limit = 0;
     std::uint32_t cur_tlo = 0, cur_thi = 0, cur_klo = 0, cur_eid = 0;
     std::uint32_t resume = 0;
@@ -104,33 +104,33 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
         std::uint32_t lo = 0, hi = n;
         while (lo < hi) {
           const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.shared_load(prefix, mid) > kidx) {
+          if (ctx.shared_load(prefix, mid, TCGPU_SITE()) > kidx) {
             hi = mid;
           } else {
             lo = mid + 1;
           }
         }
         const std::uint32_t j = lo;
-        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1);
-        cur_limit = ctx.shared_load(prefix, j);
-        cur_tlo = ctx.shared_load(t_lo, j);
-        cur_thi = ctx.shared_load(t_hi, j);
-        cur_klo = ctx.shared_load(k_lo, j);
-        cur_eid = ctx.shared_load(e_id, j);
+        cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1, TCGPU_SITE());
+        cur_limit = ctx.shared_load(prefix, j, TCGPU_SITE());
+        cur_tlo = ctx.shared_load(t_lo, j, TCGPU_SITE());
+        cur_thi = ctx.shared_load(t_hi, j, TCGPU_SITE());
+        cur_klo = ctx.shared_load(k_lo, j, TCGPU_SITE());
+        cur_eid = ctx.shared_load(e_id, j, TCGPU_SITE());
         resume = cur_tlo;
       }
       const std::uint32_t key_pos = cur_klo + (kidx - cur_base);
-      const std::uint32_t key = ctx.load(g.col, key_pos);
+      const std::uint32_t key = ctx.load(g.col, key_pos, TCGPU_SITE());
       std::uint32_t slo = resume, shi = cur_thi;
       while (slo < shi) {
         const std::uint32_t mid = slo + (shi - slo) / 2;
-        const std::uint32_t val = ctx.load(g.col, mid);
+        const std::uint32_t val = ctx.load(g.col, mid, TCGPU_SITE());
         if (val == key) {
           // Triangle (u,v,w): credit (u,v) = the chunk edge, (u,w) = the
           // table hit position, (v,w) = the key position.
-          ctx.atomic_add(support, cur_eid, 1u);
-          ctx.atomic_add(support, mid, 1u);
-          ctx.atomic_add(support, key_pos, 1u);
+          ctx.atomic_add(support, cur_eid, 1u, TCGPU_SITE());
+          ctx.atomic_add(support, mid, 1u, TCGPU_SITE());
+          ctx.atomic_add(support, key_pos, 1u, TCGPU_SITE());
           slo = mid + 1;
           break;
         }

@@ -41,12 +41,12 @@ AlgoResult TriCoreCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
   const std::uint32_t warps_per_block = cfg.block / 32;
 
   auto stage = [&](simt::ThreadCtx& ctx, EdgeState& st, std::uint64_t e) {
-    const std::uint32_t u = ctx.load(g.edge_u, e);
-    const std::uint32_t v = ctx.load(g.edge_v, e);
-    const std::uint32_t ub = ctx.load(g.row_ptr, u);
-    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
-    const std::uint32_t vb = ctx.load(g.row_ptr, v);
-    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1);
+    const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+    const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+    const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+    const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
     // Longer list becomes the search tree (§III-D).
     if (ue - ub >= ve - vb) {
       st.table_lo = ub;
@@ -67,8 +67,8 @@ AlgoResult TriCoreCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       const std::uint32_t k = ctx.group_lane() + 1;  // heap ids 1..32
       if (k <= st.cached_nodes) {
         const std::uint32_t idx = heap_node_index(k, st.table_len);
-        const std::uint32_t val = ctx.load(g.col, st.table_lo + idx);
-        ctx.shared_store(cache, ctx.warp_in_block() * nodes + (k - 1), val);
+        const std::uint32_t val = ctx.load(g.col, st.table_lo + idx, TCGPU_SITE());
+        ctx.shared_store(cache, ctx.warp_in_block() * nodes + (k - 1), val, TCGPU_SITE());
       }
     }
   };
@@ -78,16 +78,16 @@ AlgoResult TriCoreCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     auto cache = ctx.shared_array_tagged<std::uint32_t>(0, warps_per_block * nodes);
     std::uint64_t local = 0;
     for (std::uint32_t i = ctx.group_lane(); i < st.key_len; i += 32) {
-      const std::uint32_t key = ctx.load(g.col, st.key_lo + i);  // coalesced
+      const std::uint32_t key = ctx.load(g.col, st.key_lo + i, TCGPU_SITE());  // coalesced
       std::uint32_t lo = 0, hi = st.table_len;
       std::uint64_t k = 1;  // heap id; 64-bit so deep walks cannot wrap
       while (lo < hi) {
         const std::uint32_t mid = lo + (hi - lo) / 2;
         std::uint32_t val;
         if (k <= st.cached_nodes) {
-          val = ctx.shared_load(cache, ctx.warp_in_block() * nodes + (k - 1));
+          val = ctx.shared_load(cache, ctx.warp_in_block() * nodes + (k - 1), TCGPU_SITE());
         } else {
-          val = ctx.load(g.col, st.table_lo + mid);
+          val = ctx.load(g.col, st.table_lo + mid, TCGPU_SITE());
         }
         if (val == key) {
           ++local;

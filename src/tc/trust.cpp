@@ -79,41 +79,41 @@ AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       auto ovf = ovf_cursor(ctx);
       const std::uint32_t t = team_in_block(ctx);
       for (std::uint32_t i = team_lane(ctx); i < buckets; i += team_size) {
-        ctx.shared_store(len, t * buckets + i, 0u);
+        ctx.shared_store(len, t * buckets + i, 0u, TCGPU_SITE());
       }
-      if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u);
+      if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u, TCGPU_SITE());
     };
 
     auto build = [=](simt::ThreadCtx& ctx, simt::NoState&,
                      std::uint64_t item) mutable {
-      const std::uint32_t u = ctx.load(vlist, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t u = ctx.load(vlist, item, TCGPU_SITE());
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       auto len = len_array(ctx);
       auto table = table_array(ctx);
       auto ovf = ovf_cursor(ctx);
       const std::uint32_t t = team_in_block(ctx);
       const std::uint32_t team_global = ctx.block_id() * tpb + t;
       for (std::uint32_t i = ub + team_lane(ctx); i < ue; i += team_size) {
-        const std::uint32_t x = ctx.load(g.col, i);
+        const std::uint32_t x = ctx.load(g.col, i, TCGPU_SITE());
         ctx.compute(1);  // hash
         const std::uint32_t b = x % buckets;
-        const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u);
+        const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u, TCGPU_SITE());
         if (pos < slots) {
-          ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x);
+          ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x, TCGPU_SITE());
         } else {
-          const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u);
+          const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u, TCGPU_SITE());
           ctx.store(overflow,
-                    static_cast<std::size_t>(team_global) * ovf_cap + opos, x);
+                    static_cast<std::size_t>(team_global) * ovf_cap + opos, x, TCGPU_SITE());
         }
       }
     };
 
     auto probe = [=, &counter](simt::ThreadCtx& ctx, simt::NoState&,
                                std::uint64_t item) mutable {
-      const std::uint32_t u = ctx.load(vlist, item);
-      const std::uint32_t ub = ctx.load(g.row_ptr, u);
-      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1);
+      const std::uint32_t u = ctx.load(vlist, item, TCGPU_SITE());
+      const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+      const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       if (ub >= ue) return;
       auto len = len_array(ctx);
       auto table = table_array(ctx);
@@ -127,33 +127,33 @@ AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       std::uint64_t local = 0;
       std::uint32_t v_offset = team_lane(ctx);
       std::uint32_t u_point = ub;
-      std::uint32_t v = ctx.load(g.col, u_point);
-      std::uint32_t v_point = ctx.load(g.row_ptr, v);
-      std::uint32_t v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+      std::uint32_t v = ctx.load(g.col, u_point, TCGPU_SITE());
+      std::uint32_t v_point = ctx.load(g.row_ptr, v, TCGPU_SITE());
+      std::uint32_t v_degree = ctx.load(g.row_ptr, v + 1, TCGPU_SITE()) - v_point;
       while (u_point < ue) {
         while (u_point < ue && v_offset >= v_degree) {
           v_offset -= v_degree;
           ++u_point;
           if (u_point >= ue) break;
-          v = ctx.load(g.col, u_point);
-          v_point = ctx.load(g.row_ptr, v);
-          v_degree = ctx.load(g.row_ptr, v + 1) - v_point;
+          v = ctx.load(g.col, u_point, TCGPU_SITE());
+          v_point = ctx.load(g.row_ptr, v, TCGPU_SITE());
+          v_degree = ctx.load(g.row_ptr, v + 1, TCGPU_SITE()) - v_point;
         }
         if (u_point < ue) {
-          const std::uint32_t w = ctx.load(g.col, v_point + v_offset);
+          const std::uint32_t w = ctx.load(g.col, v_point + v_offset, TCGPU_SITE());
           ctx.compute(1);  // hash
           const std::uint32_t b = w % buckets;
-          const std::uint32_t blen = ctx.shared_load(len, t * buckets + b);
+          const std::uint32_t blen = ctx.shared_load(len, t * buckets + b, TCGPU_SITE());
           bool hit = false;
           const std::uint32_t in_shared = std::min(blen, slots);
           for (std::uint32_t s = 0; s < in_shared && !hit; ++s) {
-            hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b) == w;
+            hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b, TCGPU_SITE()) == w;
           }
           if (!hit && blen > slots) {
-            const std::uint32_t olen = ctx.shared_load(ovf, t);
+            const std::uint32_t olen = ctx.shared_load(ovf, t, TCGPU_SITE());
             for (std::uint32_t j = 0; j < olen && !hit; ++j) {
               hit = ctx.load(overflow,
-                             static_cast<std::size_t>(team_global) * ovf_cap + j) ==
+                             static_cast<std::size_t>(team_global) * ovf_cap + j, TCGPU_SITE()) ==
                     w;
             }
           }

@@ -16,9 +16,9 @@ GpuSpec unit_spec() {
   return s;
 }
 
-Event ev(std::uint64_t addr, std::uint32_t site, AccessKind kind,
-         std::uint8_t size = 4) {
-  return {addr, site, kind, size};
+void push(WarpAggregator& agg, std::uint32_t l, std::uint64_t addr,
+          std::uint32_t site, AccessKind kind, std::uint8_t size = 4) {
+  agg.lane(l).push(addr, site, kind, size);
 }
 
 TEST(WarpAggregator, EmptyFlushCostsNothing) {
@@ -33,7 +33,7 @@ TEST(WarpAggregator, SameSiteSameOccurrenceIsOneRequest) {
   const GpuSpec spec = unit_spec();
   WarpAggregator agg(spec);
   for (std::uint32_t l = 0; l < 32; ++l) {
-    agg.lane(l).events.push_back(ev(l * 4, 7, AccessKind::kGlobalLoad));
+    push(agg, l, l * 4, 7, AccessKind::kGlobalLoad);
   }
   KernelMetrics m;
   agg.flush(m);
@@ -46,8 +46,8 @@ TEST(WarpAggregator, SameSiteSameOccurrenceIsOneRequest) {
 TEST(WarpAggregator, DifferentSitesAreSeparateRequests) {
   const GpuSpec spec = unit_spec();
   WarpAggregator agg(spec);
-  agg.lane(0).events.push_back(ev(0, 1, AccessKind::kGlobalLoad));
-  agg.lane(1).events.push_back(ev(4, 2, AccessKind::kGlobalLoad));
+  push(agg, 0, 0, 1, AccessKind::kGlobalLoad);
+  push(agg, 1, 4, 2, AccessKind::kGlobalLoad);
   KernelMetrics m;
   agg.flush(m);
   EXPECT_EQ(m.global_load_requests, 2u);
@@ -60,10 +60,10 @@ TEST(WarpAggregator, OccurrencesAlignInProgramOrder) {
   WarpAggregator agg(spec);
   // Two lanes, each issuing two loads at the same site: the first loads of
   // both lanes group, then the second loads.
-  agg.lane(0).events.push_back(ev(0, 3, AccessKind::kGlobalLoad));
-  agg.lane(0).events.push_back(ev(1024, 3, AccessKind::kGlobalLoad));
-  agg.lane(1).events.push_back(ev(4, 3, AccessKind::kGlobalLoad));
-  agg.lane(1).events.push_back(ev(1028, 3, AccessKind::kGlobalLoad));
+  push(agg, 0, 0, 3, AccessKind::kGlobalLoad);
+  push(agg, 0, 1024, 3, AccessKind::kGlobalLoad);
+  push(agg, 1, 4, 3, AccessKind::kGlobalLoad);
+  push(agg, 1, 1028, 3, AccessKind::kGlobalLoad);
   KernelMetrics m;
   agg.flush(m);
   EXPECT_EQ(m.global_load_requests, 2u);
@@ -75,9 +75,9 @@ TEST(WarpAggregator, DivergentLaneCountsGiveMaxSteps) {
   const GpuSpec spec = unit_spec();
   WarpAggregator agg(spec);
   for (int k = 0; k < 5; ++k) {
-    agg.lane(0).events.push_back(ev(k * 4, 9, AccessKind::kGlobalLoad));
+    push(agg, 0, k * 4, 9, AccessKind::kGlobalLoad);
   }
-  agg.lane(1).events.push_back(ev(0, 9, AccessKind::kGlobalLoad));
+  push(agg, 1, 0, 9, AccessKind::kGlobalLoad);
   KernelMetrics m;
   agg.flush(m);
   EXPECT_EQ(m.warp_steps, 5u);         // max lane occurrence count
@@ -100,9 +100,9 @@ TEST(WarpAggregator, CacheHitsAreCheaperThanMisses) {
   const GpuSpec spec = unit_spec();
   WarpAggregator agg(spec);
   KernelMetrics m;
-  agg.lane(0).events.push_back(ev(0, 11, AccessKind::kGlobalLoad));
+  push(agg, 0, 0, 11, AccessKind::kGlobalLoad);
   const double miss_cycles = agg.flush(m);
-  agg.lane(0).events.push_back(ev(0, 11, AccessKind::kGlobalLoad));
+  push(agg, 0, 0, 11, AccessKind::kGlobalLoad);
   const double hit_cycles = agg.flush(m);
   EXPECT_GT(miss_cycles, hit_cycles);
   EXPECT_EQ(m.global_dram_transactions, 1u);
@@ -113,12 +113,30 @@ TEST(WarpAggregator, ResetCacheForcesMissAgain) {
   const GpuSpec spec = unit_spec();
   WarpAggregator agg(spec);
   KernelMetrics m;
-  agg.lane(0).events.push_back(ev(0, 13, AccessKind::kGlobalLoad));
+  push(agg, 0, 0, 13, AccessKind::kGlobalLoad);
   agg.flush(m);
   agg.reset_cache();
-  agg.lane(0).events.push_back(ev(0, 13, AccessKind::kGlobalLoad));
+  push(agg, 0, 0, 13, AccessKind::kGlobalLoad);
   agg.flush(m);
   EXPECT_EQ(m.global_dram_transactions, 2u);
+}
+
+TEST(WarpAggregator, GenerationStampedResetIsSoundAcrossManyResets) {
+  // The O(1) reset must behave exactly like a full invalidation every time:
+  // the same sector misses once per generation, and entries installed in an
+  // old generation are never read back as live.
+  const GpuSpec spec = unit_spec();
+  WarpAggregator agg(spec);
+  KernelMetrics m;
+  for (int block = 0; block < 5; ++block) {
+    agg.reset_cache();
+    push(agg, 0, 0, 13, AccessKind::kGlobalLoad);
+    agg.flush(m);
+    push(agg, 0, 0, 13, AccessKind::kGlobalLoad);  // same generation: a hit
+    agg.flush(m);
+  }
+  EXPECT_EQ(m.global_dram_transactions, 5u);
+  EXPECT_EQ(m.global_load_transactions, 10u);
 }
 
 TEST(WarpAggregator, SharedConflictDegreeCharged) {
@@ -126,7 +144,7 @@ TEST(WarpAggregator, SharedConflictDegreeCharged) {
   WarpAggregator agg(spec);
   // Four lanes hit bank 0 at distinct words: offsets 0, 128, 256, 384.
   for (std::uint32_t l = 0; l < 4; ++l) {
-    agg.lane(l).events.push_back(ev(l * 128, 17, AccessKind::kSharedLoad));
+    push(agg, l, l * 128, 17, AccessKind::kSharedLoad);
   }
   KernelMetrics m;
   agg.flush(m);
@@ -134,11 +152,125 @@ TEST(WarpAggregator, SharedConflictDegreeCharged) {
   EXPECT_EQ(m.shared_conflict_cycles, 3u);  // degree 4 => 3 replays
 }
 
+TEST(WarpAggregator, BroadcastSharedAccessIsConflictFree) {
+  // All 32 lanes reading the same word broadcasts: degree 1, no replays.
+  const GpuSpec spec = unit_spec();
+  WarpAggregator agg(spec);
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    push(agg, l, 64, 18, AccessKind::kSharedLoad);
+  }
+  KernelMetrics m;
+  agg.flush(m);
+  EXPECT_EQ(m.shared_load_requests, 1u);
+  EXPECT_EQ(m.shared_conflict_cycles, 0u);
+}
+
+TEST(WarpAggregator, MixedBroadcastAndConflictCountsDistinctWords) {
+  // 8 lanes on word 0, 8 lanes on word 32 (same bank, different word),
+  // 16 lanes on word 1 (another bank): bank 0 serves two distinct words.
+  const GpuSpec spec = unit_spec();
+  WarpAggregator agg(spec);
+  for (std::uint32_t l = 0; l < 8; ++l) push(agg, l, 0, 19, AccessKind::kSharedLoad);
+  for (std::uint32_t l = 8; l < 16; ++l)
+    push(agg, l, 32 * 4, 19, AccessKind::kSharedLoad);
+  for (std::uint32_t l = 16; l < 32; ++l)
+    push(agg, l, 4, 19, AccessKind::kSharedLoad);
+  KernelMetrics m;
+  agg.flush(m);
+  EXPECT_EQ(m.shared_load_requests, 1u);
+  EXPECT_EQ(m.shared_conflict_cycles, 1u);  // degree 2 on bank 0
+}
+
+TEST(WarpAggregator, StraddlingAccessTouchesBothSectors) {
+  // An 8-byte load at byte 28 crosses the 32-byte sector boundary: nvprof
+  // counts one transaction per touched sector.
+  const GpuSpec spec = unit_spec();
+  WarpAggregator agg(spec);
+  push(agg, 0, 28, 20, AccessKind::kGlobalLoad, 8);
+  KernelMetrics m;
+  agg.flush(m);
+  EXPECT_EQ(m.global_load_requests, 1u);
+  EXPECT_EQ(m.global_load_transactions, 2u);
+}
+
+TEST(WarpAggregator, StraddlingGroupDedupsSharedSectors) {
+  // Lanes 0..15 issue 8-byte loads at 16-byte stride: bytes [16k, 16k+8).
+  // 256 bytes touched => 8 distinct sectors, each shared by two lanes.
+  const GpuSpec spec = unit_spec();
+  WarpAggregator agg(spec);
+  for (std::uint32_t l = 0; l < 16; ++l) {
+    push(agg, l, l * 16, 21, AccessKind::kGlobalLoad, 8);
+  }
+  KernelMetrics m;
+  agg.flush(m);
+  EXPECT_EQ(m.global_load_requests, 1u);
+  EXPECT_EQ(m.global_load_transactions, 8u);
+}
+
+TEST(WarpAggregator, ScatteredSectorsStillDedupExactly) {
+  // Addresses spread far beyond the dedup bitmap's span (and duplicated):
+  // the wide-span fallback must still count each distinct sector once.
+  const GpuSpec spec = unit_spec();
+  WarpAggregator agg(spec);
+  const std::uint64_t far = 1ull << 40;  // ~2^35 sectors away
+  push(agg, 0, 0, 22, AccessKind::kGlobalLoad);
+  push(agg, 1, far, 22, AccessKind::kGlobalLoad);
+  push(agg, 2, 0, 22, AccessKind::kGlobalLoad);
+  push(agg, 3, far + 4, 22, AccessKind::kGlobalLoad);
+  KernelMetrics m;
+  agg.flush(m);
+  EXPECT_EQ(m.global_load_requests, 1u);
+  EXPECT_EQ(m.global_load_transactions, 2u);
+}
+
+TEST(WarpAggregator, ConvergedInterleavedSitesGroupBySite) {
+  // Every lane issues [site A, site B, site A] — eligible for the converged
+  // fast path. Grouping must still be per (site, occurrence): 2 requests at
+  // A, 1 at B, and the A groups stay coalesced.
+  const GpuSpec spec = unit_spec();
+  WarpAggregator agg(spec);
+  for (std::uint32_t l = 0; l < 32; ++l) {
+    push(agg, l, l * 4, 31, AccessKind::kGlobalLoad);
+    push(agg, l, 4096 + l * 4, 33, AccessKind::kGlobalLoad);
+    push(agg, l, 8192 + l * 4, 31, AccessKind::kGlobalLoad);
+  }
+  KernelMetrics m;
+  agg.flush(m);
+  EXPECT_EQ(m.global_load_requests, 3u);
+  EXPECT_EQ(m.global_load_transactions, 12u);  // 3 groups x 4 sectors
+  EXPECT_EQ(m.warp_steps, 3u);
+  EXPECT_EQ(m.active_lane_steps, 96u);
+}
+
+TEST(WarpAggregator, ConvergedAndDivergentOrderingsAgree) {
+  // The same logical warp once fully converged and once with one lane's
+  // trailing event withheld (forcing the sorted path): request totals match
+  // apart from the one missing lane-31 contribution.
+  const GpuSpec spec = unit_spec();
+  auto run = [&](bool withhold) {
+    WarpAggregator agg(spec);
+    KernelMetrics m;
+    for (std::uint32_t l = 0; l < 32; ++l) {
+      push(agg, l, l * 4, 41, AccessKind::kGlobalLoad);
+      if (withhold && l == 31) continue;
+      push(agg, l, 4096 + l * 4, 43, AccessKind::kGlobalLoad);
+    }
+    agg.flush(m);
+    return m;
+  };
+  const KernelMetrics fast = run(false);
+  const KernelMetrics sorted = run(true);
+  EXPECT_EQ(fast.global_load_requests, 2u);
+  EXPECT_EQ(sorted.global_load_requests, 2u);
+  EXPECT_EQ(fast.warp_steps, sorted.warp_steps);
+  EXPECT_EQ(fast.active_lane_steps, sorted.active_lane_steps + 1);
+}
+
 TEST(WarpAggregator, AtomicsCountedSeparately) {
   const GpuSpec spec = unit_spec();
   WarpAggregator agg(spec);
-  agg.lane(0).events.push_back(ev(0, 19, AccessKind::kGlobalAtomic, 8));
-  agg.lane(0).events.push_back(ev(64, 21, AccessKind::kSharedAtomic));
+  push(agg, 0, 0, 19, AccessKind::kGlobalAtomic, 8);
+  push(agg, 0, 64, 21, AccessKind::kSharedAtomic);
   KernelMetrics m;
   agg.flush(m);
   EXPECT_EQ(m.global_atomic_requests, 1u);
@@ -149,7 +281,7 @@ TEST(WarpAggregator, AtomicsCountedSeparately) {
 TEST(WarpAggregator, LanesAreClearedAfterFlush) {
   const GpuSpec spec = unit_spec();
   WarpAggregator agg(spec);
-  agg.lane(0).events.push_back(ev(0, 23, AccessKind::kGlobalLoad));
+  push(agg, 0, 0, 23, AccessKind::kGlobalLoad);
   agg.lane(0).compute_steps = 3;
   KernelMetrics m;
   agg.flush(m);

@@ -1,0 +1,97 @@
+// Determinism contract of the simulator: KernelStats must be bit-identical
+// regardless of how many host threads execute the launch. The launcher
+// parallelizes over blocks with per-thread aggregators and merges commutative
+// integer counters, while cycle costs are accumulated per block — so thread
+// count and schedule must be invisible in every counter and in time_ms down
+// to the last bit.
+//
+// One kernel per intersection family (Table I taxonomy), so the merge/
+// bin-search/hash/bitmap event shapes are all pinned.
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "framework/registry.hpp"
+#include "framework/runner.hpp"
+#include "gen/rmat.hpp"
+
+namespace tcgpu::tc {
+namespace {
+
+/// Restores the global OpenMP thread count on scope exit so a failing
+/// assertion cannot leak a 1-thread setting into later tests.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() {
+#ifdef _OPENMP
+    saved_ = omp_get_max_threads();
+#endif
+  }
+  ~ThreadCountGuard() {
+#ifdef _OPENMP
+    omp_set_num_threads(saved_);
+#endif
+  }
+  void set(int n) {
+#ifdef _OPENMP
+    omp_set_num_threads(n);
+#else
+    (void)n;
+#endif
+  }
+
+ private:
+  int saved_ = 1;
+};
+
+class DeterminismAcrossThreads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismAcrossThreads, KernelStatsBitIdenticalAtOmp128) {
+  const std::string algo_name = GetParam();
+
+  gen::RmatParams p;
+  p.scale = 11;
+  p.edges = 15000;
+  const auto pg = framework::prepare_graph("rmat_det", gen::generate_rmat(p, 77));
+  const auto algo = framework::make_algorithm(algo_name);
+
+  ThreadCountGuard guard;
+  std::vector<framework::RunOutcome> outs;
+  for (const int threads : {1, 2, 8}) {
+    guard.set(threads);
+    outs.push_back(framework::run_algorithm(*algo, pg, simt::GpuSpec::v100()));
+  }
+
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    EXPECT_EQ(outs[i].result.triangles, outs[0].result.triangles);
+    // operator== is defaulted: every counter and the double time_ms compare
+    // exactly. Any schedule-dependent accumulation shows up here.
+    EXPECT_TRUE(outs[i].result.total == outs[0].result.total)
+        << algo_name << ": stats differ between 1 thread and run " << i;
+    ASSERT_EQ(outs[i].result.launches.size(), outs[0].result.launches.size());
+    for (std::size_t k = 0; k < outs[i].result.launches.size(); ++k) {
+      EXPECT_EQ(outs[i].result.launches[k].first, outs[0].result.launches[k].first);
+      EXPECT_TRUE(outs[i].result.launches[k].second ==
+                  outs[0].result.launches[k].second)
+          << algo_name << " launch " << outs[0].result.launches[k].first
+          << ": per-kernel stats differ";
+    }
+  }
+}
+
+// One representative per intersection family:
+//   Polak — Merge, Bisson — Bin-Search, TRUST — Hash, H-INDEX — BitMap.
+INSTANTIATE_TEST_SUITE_P(OnePerIntersectionFamily, DeterminismAcrossThreads,
+                         ::testing::Values("Polak", "Bisson", "TRUST", "H-INDEX"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace tcgpu::tc
