@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "framework/engine.hpp"
+#include "framework/registry.hpp"
 #include "framework/report.hpp"
 
 int main(int argc, char** argv) {
@@ -21,7 +22,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto& algos = framework::all_algorithms();
+  // Default: the paper's Figure 11 set. --algos widens (or narrows) the
+  // sweep to any registered kernels, e.g. the 12-kernel selection pool.
+  std::vector<framework::AlgorithmEntry> algos = framework::all_algorithms();
+  if (!opt.algos.empty()) {
+    algos.clear();
+    for (const auto& name : opt.algos) {
+      for (const auto& e : framework::extended_algorithms()) {
+        if (e.name == name) algos.push_back(e);
+      }
+    }
+  }
   framework::Engine engine(opt);
   const auto rows = engine.sweep(algos, std::cerr);
 

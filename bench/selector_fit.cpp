@@ -1,6 +1,6 @@
 // Calibration fitter for serve::Selector.
 //
-// Runs every registered algorithm over the dataset suite, compares the
+// Runs the twelve-kernel selection pool over the dataset suite, compares the
 // simulator's measured kernel time against the selector's raw (uncalibrated)
 // cost model, and prints the per-algorithm calibration constant — the
 // geometric mean of measured/modeled work time — in a form ready to paste
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   }
 
   framework::Engine engine(opt);
-  const auto& algos = framework::all_algorithms();
+  const auto& algos = framework::pool_algorithms();
   const auto rows = engine.sweep(algos, std::cerr);
 
   // Raw model: calibration forced to 1, refinement off.

@@ -31,18 +31,13 @@ std::uint64_t parse_u64(const std::string& s, const std::string& flag) {
   }
 }
 
-/// Rejects unknown algorithm names with a message listing the registry.
+/// Rejects unknown algorithm names with a message listing the registry (the
+/// valid list is derived from the registry at runtime, so newly registered
+/// kernels appear without touching this file).
 void check_algorithm_name(const std::string& name) {
-  for (const auto& e : extended_algorithms()) {
-    if (e.name == name) return;
-  }
-  std::string valid;
-  for (const auto& e : extended_algorithms()) {
-    if (!valid.empty()) valid += ", ";
-    valid += e.name;
-  }
-  throw std::invalid_argument("unknown algorithm '" + name + "' (valid: " +
-                              valid + ")");
+  if (is_algorithm_name(name)) return;
+  throw std::invalid_argument("unknown algorithm '" + name +
+                              "' (valid: " + valid_algorithm_list() + ")");
 }
 
 std::vector<std::string> split_list(const std::string& value) {

@@ -2,16 +2,32 @@
 
 #include <stdexcept>
 
+#include "tc/bfsla.hpp"
 #include "tc/bisson.hpp"
+#include "tc/bsr.hpp"
 #include "tc/fox.hpp"
 #include "tc/green.hpp"
 #include "tc/grouptc.hpp"
 #include "tc/grouptc_hash.hpp"
 #include "tc/hindex.hpp"
 #include "tc/hu.hpp"
+#include "tc/mergepath.hpp"
 #include "tc/polak.hpp"
 #include "tc/tricore.hpp"
 #include "tc/trust.hpp"
+
+namespace {
+
+/// The three kernels composed directly from tc/intersect/ policies.
+std::vector<tcgpu::framework::AlgorithmEntry> library_algorithms() {
+  return {
+      {"MergePath", [] { return std::make_unique<tcgpu::tc::MergePathCounter>(); }},
+      {"BSR", [] { return std::make_unique<tcgpu::tc::BsrCounter>(); }},
+      {"BFS-LA", [] { return std::make_unique<tcgpu::tc::BfsLaCounter>(); }},
+  };
+}
+
+}  // namespace
 
 namespace tcgpu::framework {
 
@@ -44,21 +60,46 @@ const std::vector<AlgorithmEntry>& extended_algorithms() {
     std::vector<AlgorithmEntry> v = all_algorithms();
     v.push_back(
         {"GroupTC-H", [] { return std::make_unique<tc::GroupTcHashCounter>(); }});
+    for (auto& e : library_algorithms()) v.push_back(std::move(e));
     return v;
   }();
   return entries;
+}
+
+const std::vector<AlgorithmEntry>& pool_algorithms() {
+  static const std::vector<AlgorithmEntry> entries = [] {
+    std::vector<AlgorithmEntry> v = all_algorithms();
+    for (auto& e : library_algorithms()) v.push_back(std::move(e));
+    return v;
+  }();
+  return entries;
+}
+
+const std::string& valid_algorithm_list() {
+  static const std::string list = [] {
+    std::string valid;
+    for (const auto& e : extended_algorithms()) {
+      if (!valid.empty()) valid += ", ";
+      valid += e.name;
+    }
+    return valid;
+  }();
+  return list;
 }
 
 std::unique_ptr<tc::TriangleCounter> make_algorithm(const std::string& name) {
   for (const auto& e : extended_algorithms()) {
     if (e.name == name) return e.make();
   }
-  std::string valid;
+  throw std::out_of_range("unknown algorithm '" + name +
+                          "' (valid: " + valid_algorithm_list() + ")");
+}
+
+bool is_algorithm_name(const std::string& name) {
   for (const auto& e : extended_algorithms()) {
-    if (!valid.empty()) valid += ", ";
-    valid += e.name;
+    if (e.name == name) return true;
   }
-  throw std::out_of_range("unknown algorithm '" + name + "' (valid: " + valid + ")");
+  return false;
 }
 
 }  // namespace tcgpu::framework

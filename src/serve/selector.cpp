@@ -40,12 +40,14 @@ const char* to_string(Hint h) {
 
 std::vector<AlgoModel> Selector::default_models() {
   using W = AlgoModel::Work;
-  // Registry order (Table I). (work_exponent, imb_exponent, hash_load,
-  // calibration) are fit against the simulator's measured kernel times on
-  // the 19-dataset suite at the default edge cap — bench/selector_fit
-  // reports the residuals and regenerates the calibration column. Launch
-  // counts are the measured per-run launches (Fox re-launches per degree
-  // bin; everything else is a single kernel).
+  // Pool order: framework::pool_algorithms() — the paper's nine (Table I
+  // order) followed by the three tc/intersect/ library kernels.
+  // (work_exponent, imb_exponent, hash_load, calibration) are fit against
+  // the simulator's measured kernel times on the 19-dataset suite at the
+  // default edge cap — bench/selector_fit reports the residuals and
+  // regenerates the calibration column. Launch counts are the measured
+  // per-run launches (Fox re-launches per degree bin; everything else is a
+  // single kernel).
   std::vector<AlgoModel> models = {
       {"Green", W::kMerge, /*launches=*/1, /*alpha=*/0.725, /*beta=*/0.1,
        /*hash_load=*/0.0, /*calibration=*/184.70, /*fragile=*/false},
@@ -57,6 +59,9 @@ std::vector<AlgoModel> Selector::default_models() {
       {"H-INDEX", W::kHash, 1, 0.800, 0.1, 0.0, 168.80, /*fragile=*/true},
       {"TRUST", W::kHash, 1, 0.500, 0.1, 24.0, 3082.7, false},
       {"GroupTC", W::kBinarySearch, 1, 0.600, 0.4, 0.0, 359.01, false},
+      {"MergePath", W::kMergePath, 1, 0.800, 0.0, 0.0, 18.62, false},
+      {"BSR", W::kBlockedBitmap, 1, 0.650, 0.1, 0.0, 361.81, false},
+      {"BFS-LA", W::kLinearAlgebra, 1, 0.500, -0.2, 0.0, 7176.9, false},
   };
   return models;
 }
@@ -100,6 +105,28 @@ double Selector::raw_model_ms(const AlgoModel& m, const graph::GraphStats& stats
       if (n > static_cast<double>(cfg_.spec.shared_mem_per_block) * 8.0) {
         mem *= 4.0;
       }
+      break;
+    case AlgoModel::Work::kMergePath:
+      // Merge work plus the per-lane diagonal split: every edge pays 2x32
+      // binary searches of log(list length) probes before the balanced
+      // windows merge. The windows themselves make skew irrelevant (beta=0)
+      // but the split overhead is what keeps the kernel behind Polak.
+      work = s2 + edges * davg + 64.0 * edges * log2_safe(davg);
+      break;
+    case AlgoModel::Work::kBlockedBitmap:
+      // Merge over BSR-compressed rows: each occupied 32-vertex block is
+      // one (base, word) pair, so the effective list length — and with it
+      // the whole merge term — shrinks as neighborhoods densify. The /8
+      // scale (not /32) reflects partial block occupancy on the suite.
+      work = (s2 + edges * davg) / std::min(32.0, 1.0 + davg / 8.0) +
+             2.0 * edges;
+      break;
+    case AlgoModel::Work::kLinearAlgebra:
+      // Masked row-times-row products: every directed edge (u, v) merges
+      // N+(v) against the staged N+(u), an edge-dominated variant of the
+      // merge shape with block-cooperative latency hiding (beta < 0, like
+      // Hu's shared-cache staging).
+      work = s2 + edges * davg;
       break;
   }
 

@@ -77,10 +77,27 @@ struct Candidate {
   CostBreakdown cost;
 };
 
-/// Static per-algorithm model parameters (see the file comment).
+/// Static per-algorithm model parameters (see the file comment). Work names
+/// one intersection family from tc/intersect/: the first four are the
+/// paper's Table I strategies; the last three cover the library kernels
+/// whose access patterns none of the original four shapes fit —
+///   kMergePath      — per-edge diagonal partition, merge work plus a
+///                     log-cost split per lane, imbalance-free by design
+///   kBlockedBitmap  — merge over 32x-compressed (base, word) rows, so
+///                     effective list length shrinks as density grows
+///   kLinearAlgebra  — masked row-times-row products with a staged shared
+///                     cache, Hu-shaped but edge-dominated
 struct AlgoModel {
   std::string name;
-  enum class Work { kMerge, kBinarySearch, kHash, kBitmap } work;
+  enum class Work {
+    kMerge,
+    kBinarySearch,
+    kHash,
+    kBitmap,
+    kMergePath,
+    kBlockedBitmap,
+    kLinearAlgebra,
+  } work;
   double launches = 1.0;       ///< kernel launches per run (fixed cost)
   double work_exponent = 1.0;  ///< alpha: sub-linear work scaling
   double imb_exponent = 0.0;   ///< beta: imbalance = skew^beta
@@ -98,7 +115,7 @@ class Selector {
     bool refine = true;  ///< fold measured KernelStats into calibration
   };
 
-  /// Scores the paper's nine registered algorithms (default_models()).
+  /// Scores the twelve-kernel selection pool (default_models()).
   Selector() : Selector(Config{}) {}
   explicit Selector(Config cfg);
   /// Custom universe (tests, restricted deployments).
@@ -132,7 +149,9 @@ class Selector {
   const std::vector<AlgoModel>& models() const { return models_; }
   const Config& config() const { return cfg_; }
 
-  /// The paper's nine algorithms with the fitted v100 calibration table.
+  /// The selection pool — the paper's nine algorithms plus the three
+  /// tc/intersect/ library kernels (framework::pool_algorithms()) — with
+  /// the fitted v100 calibration table.
   static std::vector<AlgoModel> default_models();
 
  private:

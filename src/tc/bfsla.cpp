@@ -1,0 +1,73 @@
+#include "tc/bfsla.hpp"
+
+#include <algorithm>
+
+#include "tc/intersect/merge.hpp"
+
+namespace tcgpu::tc {
+
+AlgoResult BfsLaCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                               const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "bfsla_count");
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = cfg_.block;
+  cfg.grid = pick_grid(spec, g.vertex_items(), cfg.block, cfg.block);
+
+  const std::uint32_t cache_cap = std::min<std::uint32_t>(
+      cfg_.cache_entries, spec.shared_mem_per_block / sizeof(std::uint32_t) - 64);
+
+  // Phase 1: stage row(u) = N+(u) into shared memory (capped; the merge
+  // falls back to global loads past the staged prefix).
+  auto stage = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+    const std::uint32_t u = g.use_anchor_list
+                                ? ctx.load(g.anchors, item, TCGPU_SITE())
+                                : static_cast<std::uint32_t>(item);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+    const std::uint32_t staged = std::min(ue - ub, cache_cap);
+    auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
+    for (std::uint32_t i = ctx.thread_in_block(); i < staged; i += ctx.block_dim()) {
+      ctx.shared_store(cache, i, ctx.load(g.col, ub + i, TCGPU_SITE()), TCGPU_SITE());
+    }
+  };
+
+  // Phase 2: thread i computes the masked inner product row(v_i)·row(u).
+  auto product = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+    const std::uint32_t u = g.use_anchor_list
+                                ? ctx.load(g.anchors, item, TCGPU_SITE())
+                                : static_cast<std::uint32_t>(item);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+    const std::uint32_t u_deg = ue - ub;
+    if (u_deg == 0) return;
+    const std::uint32_t staged = std::min(u_deg, cache_cap);
+    auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
+
+    std::uint64_t local = 0;
+    for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
+      const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
+      const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
+      local += intersect::merge_count_probed(
+          ve - vb, u_deg,
+          [&](std::uint32_t j) { return ctx.load(g.col, vb + j, TCGPU_SITE()); },
+          [&](std::uint32_t j) {
+            return j < staged ? ctx.shared_load(cache, j, TCGPU_SITE())
+                              : ctx.load(g.col, ub + j, TCGPU_SITE());
+          });
+    }
+    flush_count(ctx, counter, local);
+  };
+
+  auto stats = simt::launch_items<simt::NoState>(spec, cfg, g.vertex_items(),
+                                                 stage, product);
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("bfsla_block", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,36 @@
+// BFS-LA: vertex-centric, coarse-grained, merge intersection in the
+// linear-algebra formulation.
+//
+// Triangle counting as the masked matrix product trace(L·L ∘ L)
+// (arXiv:1909.02127's BFS/linear-algebra framing): a block owns one row u
+// of the oriented adjacency matrix L, stages it in shared memory, and each
+// thread computes one inner product row(v)·row(u) for a neighbor v — a
+// sorted-list merge, since both rows are sorted index lists. The staging
+// mirrors Hu's caching phase; the merge probes mix shared (staged prefix)
+// and global (tail) operands.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class BfsLaCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;
+    std::uint32_t cache_entries = 2048;
+  };
+
+  BfsLaCounter() : cfg_{} {}
+  explicit BfsLaCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "BFS-LA"; }
+  AlgoTraits traits() const override { return {"vertex", "Merge", "coarse", 2019}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

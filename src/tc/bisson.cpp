@@ -2,13 +2,10 @@
 
 #include <algorithm>
 
+#include "tc/intersect/bitmap.hpp"
+#include "tc/intersect/merge.hpp"
+
 namespace tcgpu::tc {
-namespace {
-
-constexpr std::uint32_t bit_word(std::uint32_t v) { return v >> 5; }
-constexpr std::uint32_t bit_mask(std::uint32_t v) { return 1u << (v & 31u); }
-
-}  // namespace
 
 AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
                                 const DeviceGraph& g) const {
@@ -48,26 +45,30 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
                                          "bisson_bitmap");
     }
 
+    auto block_bitmap = [&](simt::ThreadCtx& ctx) {
+      intersect::VertexBitmap bm;
+      bm.in_shared = in_shared;
+      if (in_shared) bm.sm = ctx.shared_array_tagged<std::uint32_t>(0, words);
+      bm.gm = &scratch;
+      bm.base = static_cast<std::size_t>(ctx.block_id()) * words;
+      return bm;
+    };
+
     auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      auto bm = block_bitmap(ctx);
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
         const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
-        if (in_shared) {
-          auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
-          ctx.shared_atomic_or(bm, bit_word(v), bit_mask(v), TCGPU_SITE());
-        } else {
-          ctx.atomic_or(scratch,
-                        static_cast<std::size_t>(ctx.block_id()) * words + bit_word(v),
-                        bit_mask(v), TCGPU_SITE());
-        }
+        bm.set(ctx, v);
       }
     };
     auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      auto bm = block_bitmap(ctx);
       std::uint64_t local = 0;
       // One thread processes one 2-hop list (§III-C).
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
@@ -76,16 +77,7 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         const std::uint32_t vend = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
         for (std::uint32_t j = vb; j < vend; ++j) {
           const std::uint32_t w = ctx.load(g.col, j, TCGPU_SITE());
-          std::uint32_t word;
-          if (in_shared) {
-            auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
-            word = ctx.shared_load(bm, bit_word(w), TCGPU_SITE());
-          } else {
-            word = ctx.load(scratch,
-                            static_cast<std::size_t>(ctx.block_id()) * words +
-                                bit_word(w), TCGPU_SITE());
-          }
-          if (word & bit_mask(w)) ++local;
+          if (bm.test(ctx, w)) ++local;
         }
       }
       flush_count(ctx, counter, local);
@@ -94,15 +86,10 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      auto bm = block_bitmap(ctx);
       for (std::uint32_t i = ub + ctx.thread_in_block(); i < ue; i += ctx.block_dim()) {
         const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
-        if (in_shared) {
-          auto bm = ctx.shared_array_tagged<std::uint32_t>(0, words);
-          ctx.shared_store(bm, bit_word(v), 0u, TCGPU_SITE());
-        } else {
-          ctx.store(scratch,
-                    static_cast<std::size_t>(ctx.block_id()) * words + bit_word(v), 0u, TCGPU_SITE());
-        }
+        bm.clear(ctx, v);
       }
     };
 
@@ -119,25 +106,30 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     const std::uint32_t warps = cfg.grid * (cfg.block / 32);
     auto scratch = dev.alloc<std::uint32_t>(static_cast<std::size_t>(warps) * words,
                                             "bisson_bitmap_warp");
-    auto slot = [&](simt::ThreadCtx& ctx) {
-      return static_cast<std::size_t>(ctx.block_id() * (ctx.block_dim() / 32) +
-                                      ctx.warp_in_block()) *
-             words;
+    auto warp_bitmap = [&](simt::ThreadCtx& ctx) {
+      intersect::VertexBitmap bm;
+      bm.gm = &scratch;
+      bm.base = static_cast<std::size_t>(ctx.block_id() * (ctx.block_dim() / 32) +
+                                         ctx.warp_in_block()) *
+                words;
+      return bm;
     };
 
     auto set_bit = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      auto bm = warp_bitmap(ctx);
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
         const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
-        ctx.atomic_or(scratch, slot(ctx) + bit_word(v), bit_mask(v), TCGPU_SITE());
+        bm.set(ctx, v);
       }
     };
     auto probe = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
       const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      auto bm = warp_bitmap(ctx);
       std::uint64_t local = 0;
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
         const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
@@ -145,7 +137,7 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         const std::uint32_t vend = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
         for (std::uint32_t j = vb; j < vend; ++j) {
           const std::uint32_t w = ctx.load(g.col, j, TCGPU_SITE());
-          if (ctx.load(scratch, slot(ctx) + bit_word(w), TCGPU_SITE()) & bit_mask(w)) ++local;
+          if (bm.test(ctx, w)) ++local;
         }
       }
       flush_count(ctx, counter, local);
@@ -154,9 +146,10 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       const std::uint32_t u = anchor_of(ctx, item);
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+      auto bm = warp_bitmap(ctx);
       for (std::uint32_t i = ub + ctx.group_lane(); i < ue; i += 32) {
         const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
-        ctx.store(scratch, slot(ctx) + bit_word(v), 0u, TCGPU_SITE());
+        bm.clear(ctx, v);
       }
     };
 
@@ -183,22 +176,11 @@ AlgoResult BissonCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
           std::uint64_t local = 0;
           for (std::uint32_t i = ub; i < ue; ++i) {
             const std::uint32_t v = ctx.load(g.col, i, TCGPU_SITE());
-            std::uint32_t pa = i + 1;  // N+(u) ∩ N+(v); both sorted, w > v
-            std::uint32_t pb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+            const std::uint32_t pb = ctx.load(g.row_ptr, v, TCGPU_SITE());
             const std::uint32_t eb = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
-            while (pa < ue && pb < eb) {
-              const std::uint32_t a = ctx.load(g.col, pa, TCGPU_SITE());
-              const std::uint32_t b = ctx.load(g.col, pb, TCGPU_SITE());
-              if (a == b) {
-                ++local;
-                ++pa;
-                ++pb;
-              } else if (a < b) {
-                ++pa;
-              } else {
-                ++pb;
-              }
-            }
+            // N+(u) ∩ N+(v) starting past v's slot; both sorted, w > v.
+            local += intersect::MergeSequential::count(ctx, {&g.col, i + 1, ue},
+                                                       {&g.col, pb, eb});
           }
           flush_count(ctx, counter, local);
         });

@@ -48,45 +48,9 @@ class TriangleCounter {
 // ---------------------------------------------------------------------------
 // Metered device-side primitives
 // ---------------------------------------------------------------------------
-
-/// Binary search for `key` in the sorted slice col[lo, hi). Every probe is a
-/// metered global load issued from this call site (all callers in one kernel
-/// align probe k with probe k across the warp, as the hardware would).
-/// Returns true iff found.
-inline bool device_binary_search(simt::ThreadCtx& ctx,
-                                 const simt::DeviceBuffer<std::uint32_t>& col,
-                                 std::uint32_t lo, std::uint32_t hi,
-                                 std::uint32_t key) {
-  while (lo < hi) {
-    const std::uint32_t mid = lo + (hi - lo) / 2;
-    const std::uint32_t v = ctx.load(col, mid, TCGPU_SITE());
-    if (v == key) return true;
-    if (v < key) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return false;
-}
-
-/// Metered lower_bound: first index in col[lo, hi) with value > key
-/// (i.e. upper_bound). Used by GroupTC's u<v prefix-skip optimization.
-inline std::uint32_t device_upper_bound(simt::ThreadCtx& ctx,
-                                        const simt::DeviceBuffer<std::uint32_t>& col,
-                                        std::uint32_t lo, std::uint32_t hi,
-                                        std::uint32_t key) {
-  while (lo < hi) {
-    const std::uint32_t mid = lo + (hi - lo) / 2;
-    const std::uint32_t v = ctx.load(col, mid, TCGPU_SITE());
-    if (v <= key) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
+// The intersection primitives (binary_search, upper_bound, the merge/hash/
+// bitmap policies) live in tc/intersect/ — one site per program point,
+// shared by every kernel that composes the policy.
 
 /// Flushes a thread-local triangle tally to the global counter (one global
 /// atomic per thread that found anything, as the published kernels do).

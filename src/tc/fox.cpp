@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "tc/intersect/binsearch.hpp"
+
 namespace tcgpu::tc {
 namespace {
 
@@ -76,7 +78,7 @@ AlgoResult FoxCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
           std::uint64_t local = 0;
           for (std::uint32_t i = key_lo + ctx.group_lane(); i < key_hi; i += team) {
             const std::uint32_t key = ctx.load(g.col, i, TCGPU_SITE());
-            if (device_binary_search(ctx, g.col, table_lo, table_hi, key)) ++local;
+            if (intersect::binary_search(ctx, g.col, table_lo, table_hi, key)) ++local;
           }
           flush_count(ctx, counter, local);
         });

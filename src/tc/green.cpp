@@ -1,5 +1,7 @@
 #include "tc/green.hpp"
 
+#include "tc/intersect/merge.hpp"
+
 namespace tcgpu::tc {
 
 AlgoResult GreenCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
@@ -36,35 +38,8 @@ AlgoResult GreenCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
                                             team);
         if (chunk_lo >= chunk_hi) return;
 
-        const std::uint32_t first = ctx.load(g.col, chunk_lo, TCGPU_SITE());
-        // lower_bound(B, first)
-        std::uint32_t lo = vb, hi = ve;
-        while (lo < hi) {
-          const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.load(g.col, mid, TCGPU_SITE()) < first) {
-            lo = mid + 1;
-          } else {
-            hi = mid;
-          }
-        }
-
-        std::uint64_t local = 0;
-        std::uint32_t pa = chunk_lo, pb = lo;
-        std::uint32_t a = first;
-        while (pa < chunk_hi && pb < ve) {
-          const std::uint32_t b = ctx.load(g.col, pb, TCGPU_SITE());
-          if (a == b) {
-            ++local;
-            ++pa;
-            ++pb;
-            if (pa < chunk_hi) a = ctx.load(g.col, pa, TCGPU_SITE());
-          } else if (a < b) {
-            ++pa;
-            if (pa < chunk_hi) a = ctx.load(g.col, pa, TCGPU_SITE());
-          } else {
-            ++pb;
-          }
-        }
+        const std::uint64_t local = intersect::MergeChunked::count(
+            ctx, {&g.col, chunk_lo, chunk_hi}, {&g.col, vb, ve});
         flush_count(ctx, counter, local);
       });
 

@@ -1,5 +1,7 @@
 #include "tc/grouptc.hpp"
 
+#include "tc/intersect/binsearch.hpp"
+
 namespace tcgpu::tc {
 
 // Kernel structure (per chunk of n consecutive edges, block of n threads):
@@ -71,7 +73,7 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       // suffix need no search at all ("for the edge (0,8), no search is
       // required").
       const std::uint32_t a_lo =
-          prefix_skip ? device_upper_bound(ctx, g.col, ub, ue, v) : ub;
+          prefix_skip ? intersect::upper_bound(ctx, g.col, ub, ue, v) : ub;
       const std::uint32_t a_len = ue - a_lo;
       const std::uint32_t b_len = ve - vb;
       if (a_len != 0 && b_len != 0) {
@@ -135,16 +137,7 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     for (std::uint32_t kidx = ctx.thread_in_block(); kidx < total; kidx += n) {
       if (kidx >= cur_limit) {
         // j = first edge whose inclusive prefix exceeds kidx.
-        std::uint32_t lo = 0, hi = n;
-        while (lo < hi) {
-          const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.shared_load(prefix, mid, TCGPU_SITE()) > kidx) {
-            hi = mid;
-          } else {
-            lo = mid + 1;
-          }
-        }
-        const std::uint32_t j = lo;
+        const std::uint32_t j = intersect::shared_prefix_search(ctx, prefix, n, kidx);
         cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1, TCGPU_SITE());
         cur_limit = ctx.shared_load(prefix, j, TCGPU_SITE());
         cur_tlo = ctx.shared_load(t_lo, j, TCGPU_SITE());
@@ -154,25 +147,12 @@ AlgoResult GroupTcCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       }
       const std::uint32_t koff = kidx - cur_base;
       const std::uint32_t key = ctx.load(g.col, cur_klo + koff, TCGPU_SITE());
-      // Binary search; on exit `slo` is a safe resume point for the next
+      // Binary search whose exit point is a safe resume bound for the next
       // (strictly larger) key of this edge (optimization 2).
-      std::uint32_t slo = monotone ? resume : cur_tlo;
-      std::uint32_t shi = cur_thi;
-      while (slo < shi) {
-        const std::uint32_t mid = slo + (shi - slo) / 2;
-        const std::uint32_t val = ctx.load(g.col, mid, TCGPU_SITE());
-        if (val == key) {
-          ++local;
-          slo = mid + 1;
-          break;
-        }
-        if (val < key) {
-          slo = mid + 1;
-        } else {
-          shi = mid;
-        }
-      }
-      if (monotone) resume = slo;
+      const std::uint32_t slo = monotone ? resume : cur_tlo;
+      const auto hit = intersect::monotone_search(ctx, g.col, slo, cur_thi, key);
+      if (hit.found) ++local;
+      if (monotone) resume = hit.resume;
     }
     flush_count(ctx, counter, local);
   };

@@ -1,20 +1,11 @@
 #include "tc/grouptc_hash.hpp"
 
+#include "tc/intersect/binsearch.hpp"
+#include "tc/intersect/hash.hpp"
+
 namespace tcgpu::tc {
-namespace {
 
-constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;  // never a vertex id
-constexpr std::uint32_t kFallback = 0xFFFFFFFFu;
-
-std::uint32_t hash_mix(std::uint32_t x) { return x * 2654435761u; }
-
-std::uint32_t pow2_at_least(std::uint32_t x) {
-  std::uint32_t p = 2;
-  while (p < x) p <<= 1;
-  return p;
-}
-
-}  // namespace
+using intersect::kNoTable;
 
 AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
                                      const DeviceGraph& g) const {
@@ -79,7 +70,7 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
     const std::uint32_t tid = ctx.thread_in_block();
     const std::uint64_t e = chunk * n + tid;
     std::uint32_t d_tlo = 0, d_thi = 0, d_klo = 0, d_klen = 0;
-    std::uint32_t d_off = kFallback, d_cap = 0;
+    std::uint32_t d_off = kNoTable, d_cap = 0;
     if (e < g.num_edges) {
       const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
       const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
@@ -88,7 +79,7 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
       const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
       const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
       const std::uint32_t a_lo =
-          prefix_skip ? device_upper_bound(ctx, g.col, ub, ue, v) : ub;
+          prefix_skip ? intersect::upper_bound(ctx, g.col, ub, ue, v) : ub;
       const std::uint32_t a_len = ue - a_lo;
       const std::uint32_t b_len = ve - vb;
       if (a_len != 0 && b_len != 0) {
@@ -99,7 +90,7 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
         // Reserve 2x table size, power of two, from the shared pool; edges
         // that do not fit fall back to binary search (§V's "larger hash
         // table" concern, resolved by a bounded pool).
-        const std::uint32_t want = pow2_at_least(a_len * 2);
+        const std::uint32_t want = intersect::pow2_at_least(a_len * 2);
         if (want <= pool_entries) {
           const std::uint32_t off = ctx.shared_atomic_add(cursor, 0, want, TCGPU_SITE());
           if (off + want <= pool_entries) {
@@ -126,17 +117,14 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
     auto pool = pool_arr(ctx);
     const std::uint32_t tid = ctx.thread_in_block();
     const std::uint32_t off = ctx.shared_load(h_off, tid, TCGPU_SITE());
-    if (off == kFallback) return;
+    if (off == kNoTable) return;
     const std::uint32_t cap = ctx.shared_load(h_cap, tid, TCGPU_SITE());
-    for (std::uint32_t i = 0; i < cap; ++i) ctx.shared_store(pool, off + i, kEmpty, TCGPU_SITE());
+    intersect::linear_probe_clear(ctx, pool, off, cap);
     const std::uint32_t lo = ctx.shared_load(t_lo, tid, TCGPU_SITE());
     const std::uint32_t hi = ctx.shared_load(t_hi, tid, TCGPU_SITE());
     for (std::uint32_t i = lo; i < hi; ++i) {
       const std::uint32_t x = ctx.load(g.col, i, TCGPU_SITE());
-      ctx.compute(1);  // hash
-      std::uint32_t idx = hash_mix(x) & (cap - 1);
-      while (ctx.shared_load(pool, off + idx, TCGPU_SITE()) != kEmpty) idx = (idx + 1) & (cap - 1);
-      ctx.shared_store(pool, off + idx, x, TCGPU_SITE());
+      intersect::linear_probe_insert(ctx, pool, off, cap, x);
     }
   };
 
@@ -168,20 +156,11 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
     std::uint64_t local = 0;
     std::uint32_t cur_base = 0, cur_limit = 0;
     std::uint32_t cur_tlo = 0, cur_thi = 0, cur_klo = 0;
-    std::uint32_t cur_off = kFallback, cur_cap = 0;
+    std::uint32_t cur_off = kNoTable, cur_cap = 0;
 
     for (std::uint32_t kidx = ctx.thread_in_block(); kidx < total; kidx += n) {
       if (kidx >= cur_limit) {
-        std::uint32_t lo = 0, hi = n;
-        while (lo < hi) {
-          const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.shared_load(prefix, mid, TCGPU_SITE()) > kidx) {
-            hi = mid;
-          } else {
-            lo = mid + 1;
-          }
-        }
-        const std::uint32_t j = lo;
+        const std::uint32_t j = intersect::shared_prefix_search(ctx, prefix, n, kidx);
         cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1, TCGPU_SITE());
         cur_limit = ctx.shared_load(prefix, j, TCGPU_SITE());
         cur_tlo = ctx.shared_load(t_lo, j, TCGPU_SITE());
@@ -192,19 +171,11 @@ AlgoResult GroupTcHashCounter::count(simt::Device& dev, const simt::GpuSpec& spe
       }
       const std::uint32_t koff = kidx - cur_base;
       const std::uint32_t key = ctx.load(g.col, cur_klo + koff, TCGPU_SITE());
-      if (cur_off != kFallback) {
-        ctx.compute(1);  // hash
-        std::uint32_t idx = hash_mix(key) & (cur_cap - 1);
-        while (true) {
-          const std::uint32_t val = ctx.shared_load(pool, cur_off + idx, TCGPU_SITE());
-          if (val == key) {
-            ++local;
-            break;
-          }
-          if (val == kEmpty) break;
-          idx = (idx + 1) & (cur_cap - 1);
+      if (cur_off != kNoTable) {
+        if (intersect::linear_probe_contains(ctx, pool, cur_off, cur_cap, key)) {
+          ++local;
         }
-      } else if (device_binary_search(ctx, g.col, cur_tlo, cur_thi, key)) {
+      } else if (intersect::binary_search(ctx, g.col, cur_tlo, cur_thi, key)) {
         ++local;
       }
     }

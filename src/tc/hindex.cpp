@@ -1,5 +1,7 @@
 #include "tc/hindex.hpp"
 
+#include "tc/intersect/hash.hpp"
+
 namespace tcgpu::tc {
 
 AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
@@ -42,14 +44,21 @@ AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     return ctx.shared_array_tagged<std::uint32_t>(2, teams_per_block);
   };
 
-  auto reset = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
-    auto len = len_array(ctx);
-    auto ovf = ovf_cursor(ctx);
+  auto team_hash = [&](simt::ThreadCtx& ctx) {
     const std::uint32_t t = team_in_block(ctx);
-    for (std::uint32_t i = team_lane(ctx); i < buckets; i += team_size) {
-      ctx.shared_store(len, t * buckets + i, 0u, TCGPU_SITE());
-    }
-    if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u, TCGPU_SITE());
+    return intersect::BucketedHash{len_array(ctx),
+                                   table_array(ctx),
+                                   ovf_cursor(ctx),
+                                   &overflow,
+                                   t,
+                                   buckets,
+                                   slots,
+                                   ctx.block_id() * teams_per_block + t,
+                                   ovf_cap};
+  };
+
+  auto reset = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) {
+    team_hash(ctx).reset_slice(ctx, team_lane(ctx), team_size);
   };
 
   auto build = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
@@ -64,25 +73,10 @@ AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     const std::uint32_t lo = u_shorter ? ub : vb;
     const std::uint32_t hi = u_shorter ? ue : ve;
 
-    auto len = len_array(ctx);
-    auto table = table_array(ctx);
-    auto ovf = ovf_cursor(ctx);
-    const std::uint32_t t = team_in_block(ctx);
-    const std::uint32_t team_global =
-        ctx.block_id() * teams_per_block + t;
-
+    auto h = team_hash(ctx);
     for (std::uint32_t i = lo + team_lane(ctx); i < hi; i += team_size) {
       const std::uint32_t x = ctx.load(g.col, i, TCGPU_SITE());
-      ctx.compute(1);  // hash
-      const std::uint32_t b = x % buckets;
-      const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u, TCGPU_SITE());
-      if (pos < slots) {
-        ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x, TCGPU_SITE());
-      } else {
-        const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u, TCGPU_SITE());
-        ctx.store(overflow, static_cast<std::size_t>(team_global) * ovf_cap + opos,
-                  x, TCGPU_SITE());
-      }
+      h.insert(ctx, x);
     }
   };
 
@@ -97,33 +91,11 @@ AlgoResult HIndexCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     const std::uint32_t qlo = u_shorter ? vb : ub;  // longer list = queries
     const std::uint32_t qhi = u_shorter ? ve : ue;
 
-    auto len = len_array(ctx);
-    auto table = table_array(ctx);
-    auto ovf = ovf_cursor(ctx);
-    const std::uint32_t t = team_in_block(ctx);
-    const std::uint32_t team_global =
-        ctx.block_id() * teams_per_block + t;
-
+    auto h = team_hash(ctx);
     std::uint64_t local = 0;
     for (std::uint32_t i = qlo + team_lane(ctx); i < qhi; i += team_size) {
       const std::uint32_t key = ctx.load(g.col, i, TCGPU_SITE());
-      ctx.compute(1);  // hash
-      const std::uint32_t b = key % buckets;
-      const std::uint32_t blen = ctx.shared_load(len, t * buckets + b, TCGPU_SITE());
-      bool hit = false;
-      const std::uint32_t in_shared = std::min(blen, slots);
-      for (std::uint32_t s = 0; s < in_shared && !hit; ++s) {
-        hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b, TCGPU_SITE()) == key;
-      }
-      if (!hit && blen > slots) {
-        // This bucket spilled; scan the team's overflow region linearly.
-        const std::uint32_t olen = ctx.shared_load(ovf, t, TCGPU_SITE());
-        for (std::uint32_t j = 0; j < olen && !hit; ++j) {
-          hit = ctx.load(overflow,
-                         static_cast<std::size_t>(team_global) * ovf_cap + j, TCGPU_SITE()) == key;
-        }
-      }
-      if (hit) ++local;
+      if (h.contains(ctx, key)) ++local;
     }
     flush_count(ctx, counter, local);
   };

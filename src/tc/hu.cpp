@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tc/intersect/binsearch.hpp"
+
 namespace tcgpu::tc {
 
 AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
@@ -61,22 +63,13 @@ AlgoResult HuCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       }
       if (u_point < ue) {  // lines 15-18
         const std::uint32_t w = ctx.load(g.col, v_point + v_offset, TCGPU_SITE());
-        // binSearch(w, u): shared for the staged prefix, global beyond.
-        std::uint32_t lo = 0, hi = u_deg;
-        while (lo < hi) {
-          const std::uint32_t mid = lo + (hi - lo) / 2;
-          const std::uint32_t val = mid < staged
-                                        ? ctx.shared_load(cache, mid, TCGPU_SITE())
-                                        : ctx.load(g.col, ub + mid, TCGPU_SITE());
-          if (val == w) {
-            ++tc;
-            break;
-          }
-          if (val < w) {
-            lo = mid + 1;
-          } else {
-            hi = mid;
-          }
+        // binSearch(w, u): shared for the staged prefix, global beyond (the
+        // probe lambda owns both sites, keeping attribution in this kernel).
+        if (intersect::binary_search_probe(0u, u_deg, w, [&](std::uint32_t mid) {
+              return mid < staged ? ctx.shared_load(cache, mid, TCGPU_SITE())
+                                  : ctx.load(g.col, ub + mid, TCGPU_SITE());
+            })) {
+          ++tc;
         }
       }
       v_offset += ctx.block_dim();  // Alg.1 line 19

@@ -1,0 +1,180 @@
+// Binary-search-family intersection primitives (Table I "Bin-Search").
+//
+// `binary_search` and `upper_bound` moved here from tc/common.hpp verbatim:
+// each is one inline program point, so every kernel composing it shares one
+// site per launch — exactly the sharing Fox and GroupTC-H already had.
+//
+// The probe-parameterized variants (`binary_search_probe`,
+// `heap_search_probe`) carry no metered accesses of their own: the caller's
+// probe lambda owns the TCGPU_SITE()s, so kernels that mix shared-memory
+// caches with global fallbacks (Hu, TriCore) keep their own attribution.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/launch.hpp"
+#include "tc/intersect/list_ref.hpp"
+
+namespace tcgpu::tc::intersect {
+
+/// Binary search for `key` in the sorted slice col[lo, hi). Every probe is a
+/// metered global load issued from this call site (all callers in one kernel
+/// align probe k with probe k across the warp, as the hardware would).
+/// Returns true iff found.
+inline bool binary_search(simt::ThreadCtx& ctx,
+                          const simt::DeviceBuffer<std::uint32_t>& col,
+                          std::uint32_t lo, std::uint32_t hi,
+                          std::uint32_t key) {
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t v = ctx.load(col, mid, TCGPU_SITE());
+    if (v == key) return true;
+    if (v < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+/// Metered upper_bound: first index in col[lo, hi) with value > key.
+/// Used by GroupTC's u<v prefix-skip optimization (§V) and the k-truss
+/// support kernel.
+inline std::uint32_t upper_bound(simt::ThreadCtx& ctx,
+                                 const simt::DeviceBuffer<std::uint32_t>& col,
+                                 std::uint32_t lo, std::uint32_t hi,
+                                 std::uint32_t key) {
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t v = ctx.load(col, mid, TCGPU_SITE());
+    if (v <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Binary search over [lo, hi) with a caller-supplied element probe (which
+/// owns the metered accesses — e.g. Hu's shared-cache-then-global probe).
+template <class Probe>
+bool binary_search_probe(std::uint32_t lo, std::uint32_t hi, std::uint32_t key,
+                         Probe&& probe) {
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t val = probe(mid);
+    if (val == key) return true;
+    if (val < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+/// Binary search that additionally tracks the 1-based heap id of the probed
+/// node, for kernels that cache the top levels of the implicit search tree
+/// in shared memory (TriCore). probe(k, mid) owns the metered accesses; k is
+/// 64-bit so deep walks cannot wrap.
+template <class Probe>
+bool heap_search_probe(std::uint32_t len, std::uint32_t key, Probe&& probe) {
+  std::uint32_t lo = 0, hi = len;
+  std::uint64_t k = 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t val = probe(k, mid);
+    if (val == key) return true;
+    if (val < key) {
+      lo = mid + 1;
+      k = 2 * k + 1;
+    } else {
+      hi = mid;
+      k = 2 * k;
+    }
+  }
+  return false;
+}
+
+/// Result of a monotone (resumable) binary search: `pos` is the hit index
+/// (valid iff found); `resume` is a safe lower bound for the next strictly
+/// larger key of the same table (GroupTC's optimization 2).
+struct MonotoneHit {
+  bool found = false;
+  std::uint32_t pos = 0;
+  std::uint32_t resume = 0;
+};
+
+/// Binary search for `key` in col[lo, hi) that reports a resume point.
+/// Event shape: identical to `binary_search` until the hit (nothing metered
+/// follows it), so GroupTC's and the support kernel's counting loops keep
+/// their original per-lane event sequences.
+inline MonotoneHit monotone_search(simt::ThreadCtx& ctx,
+                                   const simt::DeviceBuffer<std::uint32_t>& col,
+                                   std::uint32_t lo, std::uint32_t hi,
+                                   std::uint32_t key) {
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t val = ctx.load(col, mid, TCGPU_SITE());
+    if (val == key) return {true, mid, mid + 1};
+    if (val < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {false, 0, lo};
+}
+
+/// First index in the shared inclusive-prefix array [0, n) whose value
+/// exceeds `kidx` — the chunk kernels' key-index -> edge mapping (GroupTC,
+/// GroupTC-H, k-truss support share this one program point).
+inline std::uint32_t shared_prefix_search(simt::ThreadCtx& ctx,
+                                          simt::SharedView<std::uint32_t>& prefix,
+                                          std::uint32_t n, std::uint32_t kidx) {
+  std::uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (ctx.shared_load(prefix, mid, TCGPU_SITE()) > kidx) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// Host-side: array index of 1-based heap node `k` of an implicit
+/// binary-search tree over [0, len): walk the bits of k below its MSB
+/// (0 = left, 1 = right).
+inline std::uint32_t heap_node_index(std::uint32_t k, std::uint32_t len) {
+  std::uint32_t lo = 0, hi = len;
+  std::uint32_t msb = 31 - static_cast<std::uint32_t>(__builtin_clz(k));
+  for (std::uint32_t b = msb; b > 0; --b) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if ((k >> (b - 1)) & 1u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    if (lo >= hi) return lo < len ? lo : len - 1;  // node below the leaves
+  }
+  return lo + (hi - lo) / 2;
+}
+
+/// Policy form for tests and sweep drivers: each element of `a` (loaded at
+/// this site) is binary-searched in `b`.
+struct BinSearchSweep {
+  static std::uint64_t count(simt::ThreadCtx& ctx, ListRef a, ListRef b) {
+    std::uint64_t local = 0;
+    for (std::uint32_t i = a.lo; i < a.hi; ++i) {
+      const std::uint32_t key = ctx.load(*a.buf, i, TCGPU_SITE());
+      if (binary_search(ctx, *b.buf, b.lo, b.hi, key)) ++local;
+    }
+    return local;
+  }
+};
+
+}  // namespace tcgpu::tc::intersect

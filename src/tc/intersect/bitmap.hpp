@@ -1,0 +1,96 @@
+// Bitmap-family intersection policies (Table I "BitMap").
+//
+// VertexBitmap is Bisson's dense one-bit-per-vertex image: resident in the
+// block's shared memory when it fits, spilled to a per-team global scratch
+// region otherwise (the shared->global cliff ablation_bisson measures). The
+// set/test/clear program points are shared by every composing path — safe,
+// because Bisson's block/warp paths never co-occur in one launch and site
+// interning is per launch.
+//
+// The BSR (blocked sparse row) helpers back the BSR kernel: an adjacency
+// list compressed to (base, word) pairs — base = vertex >> 5, word = the
+// 32-bit occupancy of that block — intersected by merging the base arrays
+// and popcounting the word AND on base match. On the oriented DAG (u < v
+// for every edge) the plain AND is exact: every common neighbor already
+// exceeds both endpoints.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "simt/launch.hpp"
+
+namespace tcgpu::tc::intersect {
+
+constexpr std::uint32_t bit_word(std::uint32_t v) { return v >> 5; }
+constexpr std::uint32_t bit_mask(std::uint32_t v) { return 1u << (v & 31u); }
+
+/// One team's dense vertex bitmap: shared-memory words when `in_shared`,
+/// else the team's slice [base, base + words) of a global scratch buffer.
+struct VertexBitmap {
+  bool in_shared = false;
+  simt::SharedView<std::uint32_t> sm;          ///< valid iff in_shared
+  simt::DeviceBuffer<std::uint32_t>* gm = nullptr;  ///< valid otherwise
+  std::size_t base = 0;
+
+  void set(simt::ThreadCtx& ctx, std::uint32_t v) {
+    if (in_shared) {
+      ctx.shared_atomic_or(sm, bit_word(v), bit_mask(v), TCGPU_SITE());
+    } else {
+      ctx.atomic_or(*gm, base + bit_word(v), bit_mask(v), TCGPU_SITE());
+    }
+  }
+
+  bool test(simt::ThreadCtx& ctx, std::uint32_t w) {
+    std::uint32_t word;
+    if (in_shared) {
+      word = ctx.shared_load(sm, bit_word(w), TCGPU_SITE());
+    } else {
+      word = ctx.load(*gm, base + bit_word(w), TCGPU_SITE());
+    }
+    return (word & bit_mask(w)) != 0;
+  }
+
+  void clear(simt::ThreadCtx& ctx, std::uint32_t v) {
+    if (in_shared) {
+      ctx.shared_store(sm, bit_word(v), 0u, TCGPU_SITE());
+    } else {
+      ctx.store(*gm, base + bit_word(v), 0u, TCGPU_SITE());
+    }
+  }
+};
+
+/// One vertex's BSR row: slice [lo, hi) of the parallel base/word arrays.
+struct BsrRef {
+  const simt::DeviceBuffer<std::uint32_t>* base = nullptr;
+  const simt::DeviceBuffer<std::uint32_t>* word = nullptr;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+/// Blocked-bitmap intersection: merge the sorted base arrays; on a base
+/// match AND the occupancy words and popcount (one ALU step, as the
+/// hardware's __popc).
+inline std::uint64_t bsr_and_count(simt::ThreadCtx& ctx, BsrRef a, BsrRef b) {
+  std::uint64_t local = 0;
+  std::uint32_t i = a.lo, j = b.lo;
+  while (i < a.hi && j < b.hi) {
+    const std::uint32_t x = ctx.load(*a.base, i, TCGPU_SITE());
+    const std::uint32_t y = ctx.load(*b.base, j, TCGPU_SITE());
+    if (x == y) {
+      const std::uint32_t wa = ctx.load(*a.word, i, TCGPU_SITE());
+      const std::uint32_t wb = ctx.load(*b.word, j, TCGPU_SITE());
+      ctx.compute(1);  // __popc
+      local += static_cast<std::uint64_t>(std::popcount(wa & wb));
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return local;
+}
+
+}  // namespace tcgpu::tc::intersect

@@ -1,0 +1,139 @@
+// Hash-family intersection policies (Table I "Hash").
+//
+// BucketedHash is the shared-memory bucket table with bounded global
+// overflow that H-INDEX introduced and TRUST reuses (their build/probe
+// bodies were byte-identical before this library existed; both kernels now
+// compose the one implementation and share its sites — safe, since site
+// interning is per launch). The table layout is row-order: element s of all
+// buckets is contiguous (§III-G), so same-slot probes of neighboring lanes
+// hit consecutive banks.
+//
+// The linear-probe functions are GroupTC-hash's per-edge open-addressing
+// regions carved out of one shared pool (the §VI "hashing instead of binary
+// search" variant).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simt/launch.hpp"
+
+namespace tcgpu::tc::intersect {
+
+constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;  // never a vertex id
+constexpr std::uint32_t kNoTable = 0xFFFFFFFFu;
+
+/// Knuth multiplicative mixing, as the published GroupTC-hash kernel uses.
+constexpr std::uint32_t hash_mix(std::uint32_t x) { return x * 2654435761u; }
+
+/// Smallest power of two >= x (and >= 2). Host-side sizing helper.
+inline std::uint32_t pow2_at_least(std::uint32_t x) {
+  std::uint32_t p = 2;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// One team's slice of the block's bucketed hash table: len[buckets],
+/// table[slots*buckets] row-order, a one-word overflow cursor, and the
+/// team's region of the global overflow array.
+struct BucketedHash {
+  simt::SharedView<std::uint32_t> len;
+  simt::SharedView<std::uint32_t> table;
+  simt::SharedView<std::uint32_t> ovf;
+  simt::DeviceBuffer<std::uint32_t>* overflow = nullptr;
+  std::uint32_t t = 0;            ///< team index within the block
+  std::uint32_t buckets = 0;
+  std::uint32_t slots = 0;
+  std::uint32_t team_global = 0;  ///< global team id (overflow region)
+  std::uint32_t ovf_cap = 0;
+
+  /// Zeroes this team's bucket lengths and overflow cursor (the reset
+  /// phase; lanes cooperate with stride `team_size`).
+  void reset_slice(simt::ThreadCtx& ctx, std::uint32_t team_lane,
+                   std::uint32_t team_size) {
+    for (std::uint32_t i = team_lane; i < buckets; i += team_size) {
+      ctx.shared_store(len, t * buckets + i, 0u, TCGPU_SITE());
+    }
+    if (team_lane == 0) ctx.shared_store(ovf, t, 0u, TCGPU_SITE());
+  }
+
+  /// Hashes `x` into its bucket; spills to the team's global overflow region
+  /// once the bucket's `slots` shared entries are full.
+  void insert(simt::ThreadCtx& ctx, std::uint32_t x) {
+    ctx.compute(1);  // hash
+    const std::uint32_t b = x % buckets;
+    const std::uint32_t pos =
+        ctx.shared_atomic_add(len, t * buckets + b, 1u, TCGPU_SITE());
+    if (pos < slots) {
+      ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x,
+                       TCGPU_SITE());
+    } else {
+      const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u, TCGPU_SITE());
+      ctx.store(*overflow, static_cast<std::size_t>(team_global) * ovf_cap + opos,
+                x, TCGPU_SITE());
+    }
+  }
+
+  /// Probes `key`'s bucket; buckets that spilled scan the team's overflow
+  /// region linearly.
+  bool contains(simt::ThreadCtx& ctx, std::uint32_t key) {
+    ctx.compute(1);  // hash
+    const std::uint32_t b = key % buckets;
+    const std::uint32_t blen = ctx.shared_load(len, t * buckets + b, TCGPU_SITE());
+    bool hit = false;
+    const std::uint32_t in_shared = std::min(blen, slots);
+    for (std::uint32_t s = 0; s < in_shared && !hit; ++s) {
+      hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b,
+                            TCGPU_SITE()) == key;
+    }
+    if (!hit && blen > slots) {
+      const std::uint32_t olen = ctx.shared_load(ovf, t, TCGPU_SITE());
+      for (std::uint32_t j = 0; j < olen && !hit; ++j) {
+        hit = ctx.load(*overflow,
+                       static_cast<std::size_t>(team_global) * ovf_cap + j,
+                       TCGPU_SITE()) == key;
+      }
+    }
+    return hit;
+  }
+};
+
+/// Clears one edge's linear-probe region [off, off+cap) of the shared pool.
+inline void linear_probe_clear(simt::ThreadCtx& ctx,
+                               simt::SharedView<std::uint32_t>& pool,
+                               std::uint32_t off, std::uint32_t cap) {
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    ctx.shared_store(pool, off + i, kEmpty, TCGPU_SITE());
+  }
+}
+
+/// Open-addressing insert into a power-of-two region (cap >= 2 * elements,
+/// so the probe chains stay short).
+inline void linear_probe_insert(simt::ThreadCtx& ctx,
+                                simt::SharedView<std::uint32_t>& pool,
+                                std::uint32_t off, std::uint32_t cap,
+                                std::uint32_t x) {
+  ctx.compute(1);  // hash
+  std::uint32_t idx = hash_mix(x) & (cap - 1);
+  while (ctx.shared_load(pool, off + idx, TCGPU_SITE()) != kEmpty) {
+    idx = (idx + 1) & (cap - 1);
+  }
+  ctx.shared_store(pool, off + idx, x, TCGPU_SITE());
+}
+
+/// Open-addressing membership probe; an empty slot ends the chain.
+inline bool linear_probe_contains(simt::ThreadCtx& ctx,
+                                  simt::SharedView<std::uint32_t>& pool,
+                                  std::uint32_t off, std::uint32_t cap,
+                                  std::uint32_t key) {
+  ctx.compute(1);  // hash
+  std::uint32_t idx = hash_mix(key) & (cap - 1);
+  while (true) {
+    const std::uint32_t val = ctx.shared_load(pool, off + idx, TCGPU_SITE());
+    if (val == key) return true;
+    if (val == kEmpty) return false;
+    idx = (idx + 1) & (cap - 1);
+  }
+}
+
+}  // namespace tcgpu::tc::intersect

@@ -1,0 +1,36 @@
+// A bounds-carrying view of one sorted adjacency slice, the operand type of
+// every intersection policy in src/tc/intersect/.
+//
+// The library factors the paper's four intersection families (Table I:
+// Merge, Bin-Search, Hash, BitMap) out of the kernel bodies into small
+// policy types. Each policy issues its metered accesses from its own
+// TCGPU_SITE() program points, so KernelStats attribution stays
+// per-strategy, and two kernels composing the same policy share those
+// sites — which is safe: the warp aggregator interns sites per launch in
+// first-appearance order, so only the partition of each lane's event stream
+// into program points matters, never the numeric site ids. What is NOT safe
+// is merging two formerly-distinct program points of one kernel into a
+// single site (it changes occurrence alignment); the ported kernels
+// therefore map each of their original textual sites onto exactly one
+// library site.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/device.hpp"
+
+namespace tcgpu::tc::intersect {
+
+/// A sorted, duplicate-free slice col[lo, hi) of a device column array —
+/// the universal operand of the intersection policies. Cheap to copy; the
+/// buffer pointer is the analogue of a device pointer.
+struct ListRef {
+  const simt::DeviceBuffer<std::uint32_t>* buf = nullptr;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  std::uint32_t size() const { return hi - lo; }
+  bool empty() const { return lo >= hi; }
+};
+
+}  // namespace tcgpu::tc::intersect

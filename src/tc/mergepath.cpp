@@ -1,0 +1,51 @@
+#include "tc/mergepath.hpp"
+
+#include "tc/intersect/merge.hpp"
+
+namespace tcgpu::tc {
+
+AlgoResult MergePathCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                   const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "mergepath_count");
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = 32;
+  cfg.grid = pick_grid(spec, g.num_edges, 32, cfg.block);
+
+  auto stats = simt::launch_items<simt::NoState>(
+      spec, cfg, g.num_edges,
+      [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
+        const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
+        const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
+        const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+        const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+        const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+        const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
+        const intersect::ListRef a{&g.col, ub, ue};
+        const intersect::ListRef b{&g.col, vb, ve};
+        if (a.empty() || b.empty()) return;
+
+        // Lane t owns diagonals [d0, d1) of the |A|+|B| merge path; the two
+        // diagonal searches bound an equal-work merge window per lane.
+        const std::uint64_t total = a.size() + b.size();
+        const std::uint32_t t = ctx.group_lane();
+        const std::uint32_t d0 = static_cast<std::uint32_t>(total * t / 32);
+        const std::uint32_t d1 = static_cast<std::uint32_t>(total * (t + 1) / 32);
+        if (d0 >= d1) return;
+        const std::uint32_t ai0 = intersect::MergePath::split(ctx, a, b, d0);
+        const std::uint32_t ai1 = intersect::MergePath::split(ctx, a, b, d1);
+        const std::uint32_t bi0 = d0 - ai0;
+
+        const std::uint64_t local = intersect::MergePath::count_window(
+            ctx, a, a.lo + ai0, a.lo + ai1, b, b.lo + bi0);
+        flush_count(ctx, counter, local);
+      });
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("mergepath_warp", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

@@ -1,0 +1,34 @@
+// MergePath: edge-centric, fine-grained, merge intersection.
+//
+// The classic GPU merge-path scheme (Green et al.) applied to the
+// intersection itself: a warp owns one edge (u,v), and each lane binary
+// searches the diagonal of the conceptual merge of N+(u) and N+(v) to find
+// an equal-work window, then merges only its window. This removes the
+// per-thread imbalance Polak pays on skewed lists while keeping the
+// merge family's optimal total work — the cell of Table I's taxonomy
+// (edge / Merge / fine) none of the surveyed kernels occupies.
+#pragma once
+
+#include "tc/common.hpp"
+
+namespace tcgpu::tc {
+
+class MergePathCounter final : public TriangleCounter {
+ public:
+  struct Config {
+    std::uint32_t block = 256;
+  };
+
+  MergePathCounter() : cfg_{} {}
+  explicit MergePathCounter(Config cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "MergePath"; }
+  AlgoTraits traits() const override { return {"edge", "Merge", "fine", 2014}; }
+  AlgoResult count(simt::Device& dev, const simt::GpuSpec& spec,
+                   const DeviceGraph& g) const override;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace tcgpu::tc

@@ -1,5 +1,7 @@
 #include "tc/polak.hpp"
 
+#include "tc/intersect/merge.hpp"
+
 namespace tcgpu::tc {
 
 AlgoResult PolakCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
@@ -16,31 +18,12 @@ AlgoResult PolakCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t e) {
         const std::uint32_t u = ctx.load(g.edge_u, e, TCGPU_SITE());
         const std::uint32_t v = ctx.load(g.edge_v, e, TCGPU_SITE());
-        std::uint32_t pu = ctx.load(g.row_ptr, u, TCGPU_SITE());
+        const std::uint32_t pu = ctx.load(g.row_ptr, u, TCGPU_SITE());
         const std::uint32_t eu = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
-        std::uint32_t pv = ctx.load(g.row_ptr, v, TCGPU_SITE());
+        const std::uint32_t pv = ctx.load(g.row_ptr, v, TCGPU_SITE());
         const std::uint32_t ev = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
-        std::uint64_t local = 0;
-        if (pu < eu && pv < ev) {
-          // Register-cached merge: reload only the advanced pointer, as the
-          // published kernel does — Polak's whole advantage is few loads.
-          std::uint32_t a = ctx.load(g.col, pu, TCGPU_SITE());
-          std::uint32_t b = ctx.load(g.col, pv, TCGPU_SITE());
-          while (true) {
-            if (a == b) {
-              ++local;
-              if (++pu >= eu || ++pv >= ev) break;
-              a = ctx.load(g.col, pu, TCGPU_SITE());
-              b = ctx.load(g.col, pv, TCGPU_SITE());
-            } else if (a < b) {
-              if (++pu >= eu) break;
-              a = ctx.load(g.col, pu, TCGPU_SITE());
-            } else {
-              if (++pv >= ev) break;
-              b = ctx.load(g.col, pv, TCGPU_SITE());
-            }
-          }
-        }
+        const std::uint64_t local = intersect::MergeRegisterCached::count(
+            ctx, {&g.col, pu, eu}, {&g.col, pv, ev});
         flush_count(ctx, counter, local);
       });
 

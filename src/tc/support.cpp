@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tc/intersect/binsearch.hpp"
+
 namespace tcgpu::tc {
 
 SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
@@ -59,7 +61,7 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
       const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
-      const std::uint32_t a_lo = device_upper_bound(ctx, g.col, ub, ue, v);
+      const std::uint32_t a_lo = intersect::upper_bound(ctx, g.col, ub, ue, v);
       if (ue - a_lo != 0 && ve - vb != 0) {
         d_tlo = a_lo;
         d_thi = ue;
@@ -101,16 +103,7 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
 
     for (std::uint32_t kidx = ctx.thread_in_block(); kidx < total; kidx += n) {
       if (kidx >= cur_limit) {
-        std::uint32_t lo = 0, hi = n;
-        while (lo < hi) {
-          const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ctx.shared_load(prefix, mid, TCGPU_SITE()) > kidx) {
-            hi = mid;
-          } else {
-            lo = mid + 1;
-          }
-        }
-        const std::uint32_t j = lo;
+        const std::uint32_t j = intersect::shared_prefix_search(ctx, prefix, n, kidx);
         cur_base = j == 0 ? 0 : ctx.shared_load(prefix, j - 1, TCGPU_SITE());
         cur_limit = ctx.shared_load(prefix, j, TCGPU_SITE());
         cur_tlo = ctx.shared_load(t_lo, j, TCGPU_SITE());
@@ -121,26 +114,15 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
       }
       const std::uint32_t key_pos = cur_klo + (kidx - cur_base);
       const std::uint32_t key = ctx.load(g.col, key_pos, TCGPU_SITE());
-      std::uint32_t slo = resume, shi = cur_thi;
-      while (slo < shi) {
-        const std::uint32_t mid = slo + (shi - slo) / 2;
-        const std::uint32_t val = ctx.load(g.col, mid, TCGPU_SITE());
-        if (val == key) {
-          // Triangle (u,v,w): credit (u,v) = the chunk edge, (u,w) = the
-          // table hit position, (v,w) = the key position.
-          ctx.atomic_add(support, cur_eid, 1u, TCGPU_SITE());
-          ctx.atomic_add(support, mid, 1u, TCGPU_SITE());
-          ctx.atomic_add(support, key_pos, 1u, TCGPU_SITE());
-          slo = mid + 1;
-          break;
-        }
-        if (val < key) {
-          slo = mid + 1;
-        } else {
-          shi = mid;
-        }
+      const auto hit = intersect::monotone_search(ctx, g.col, resume, cur_thi, key);
+      if (hit.found) {
+        // Triangle (u,v,w): credit (u,v) = the chunk edge, (u,w) = the
+        // table hit position, (v,w) = the key position.
+        ctx.atomic_add(support, cur_eid, 1u, TCGPU_SITE());
+        ctx.atomic_add(support, hit.pos, 1u, TCGPU_SITE());
+        ctx.atomic_add(support, key_pos, 1u, TCGPU_SITE());
       }
-      resume = slo;
+      resume = hit.resume;
     }
   };
 

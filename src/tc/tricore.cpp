@@ -1,24 +1,9 @@
 #include "tc/tricore.hpp"
 
+#include "tc/intersect/binsearch.hpp"
+
 namespace tcgpu::tc {
 namespace {
-
-/// Array index of 1-based heap node `k` of an implicit binary-search tree
-/// over [0, len): walk the bits of k below its MSB (0 = left, 1 = right).
-std::uint32_t heap_node_index(std::uint32_t k, std::uint32_t len) {
-  std::uint32_t lo = 0, hi = len;
-  std::uint32_t msb = 31 - static_cast<std::uint32_t>(__builtin_clz(k));
-  for (std::uint32_t b = msb; b > 0; --b) {
-    const std::uint32_t mid = lo + (hi - lo) / 2;
-    if ((k >> (b - 1)) & 1u) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-    if (lo >= hi) return lo < len ? lo : len - 1;  // node below the leaves
-  }
-  return lo + (hi - lo) / 2;
-}
 
 struct EdgeState {
   std::uint32_t table_lo = 0, table_len = 0;
@@ -66,7 +51,7 @@ AlgoResult TriCoreCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
           ctx.shared_array_tagged<std::uint32_t>(0, warps_per_block * nodes);
       const std::uint32_t k = ctx.group_lane() + 1;  // heap ids 1..32
       if (k <= st.cached_nodes) {
-        const std::uint32_t idx = heap_node_index(k, st.table_len);
+        const std::uint32_t idx = intersect::heap_node_index(k, st.table_len);
         const std::uint32_t val = ctx.load(g.col, st.table_lo + idx, TCGPU_SITE());
         ctx.shared_store(cache, ctx.warp_in_block() * nodes + (k - 1), val, TCGPU_SITE());
       }
@@ -79,27 +64,17 @@ AlgoResult TriCoreCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     std::uint64_t local = 0;
     for (std::uint32_t i = ctx.group_lane(); i < st.key_len; i += 32) {
       const std::uint32_t key = ctx.load(g.col, st.key_lo + i, TCGPU_SITE());  // coalesced
-      std::uint32_t lo = 0, hi = st.table_len;
-      std::uint64_t k = 1;  // heap id; 64-bit so deep walks cannot wrap
-      while (lo < hi) {
-        const std::uint32_t mid = lo + (hi - lo) / 2;
-        std::uint32_t val;
-        if (k <= st.cached_nodes) {
-          val = ctx.shared_load(cache, ctx.warp_in_block() * nodes + (k - 1), TCGPU_SITE());
-        } else {
-          val = ctx.load(g.col, st.table_lo + mid, TCGPU_SITE());
-        }
-        if (val == key) {
-          ++local;
-          break;
-        }
-        if (val < key) {
-          lo = mid + 1;
-          k = 2 * k + 1;
-        } else {
-          hi = mid;
-          k = 2 * k;
-        }
+      // Top tree levels come from the warp's shared cache, the rest from
+      // global memory — the probe lambda owns both sites.
+      if (intersect::heap_search_probe(
+              st.table_len, key, [&](std::uint64_t k, std::uint32_t mid) {
+                return k <= st.cached_nodes
+                           ? ctx.shared_load(
+                                 cache, ctx.warp_in_block() * nodes + (k - 1),
+                                 TCGPU_SITE())
+                           : ctx.load(g.col, st.table_lo + mid, TCGPU_SITE());
+              })) {
+        ++local;
       }
     }
     flush_count(ctx, counter, local);

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "tc/intersect/hash.hpp"
+
 namespace tcgpu::tc {
 namespace {
 
@@ -73,15 +75,24 @@ AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
     auto team_lane = [tpb](simt::ThreadCtx& ctx) -> std::uint32_t {
       return tpb == 1 ? ctx.thread_in_block() : ctx.group_lane();
     };
+    // The overflow buffer is passed in so each [=] phase lambda hands the
+    // hash a pointer into its own captured copy.
+    auto team_hash = [=](simt::ThreadCtx& ctx,
+                         simt::DeviceBuffer<std::uint32_t>& ovf_buf) {
+      const std::uint32_t t = team_in_block(ctx);
+      return intersect::BucketedHash{len_array(ctx),
+                                     table_array(ctx),
+                                     ovf_cursor(ctx),
+                                     &ovf_buf,
+                                     t,
+                                     buckets,
+                                     slots,
+                                     ctx.block_id() * tpb + t,
+                                     ovf_cap};
+    };
 
     auto reset = [=](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t) mutable {
-      auto len = len_array(ctx);
-      auto ovf = ovf_cursor(ctx);
-      const std::uint32_t t = team_in_block(ctx);
-      for (std::uint32_t i = team_lane(ctx); i < buckets; i += team_size) {
-        ctx.shared_store(len, t * buckets + i, 0u, TCGPU_SITE());
-      }
-      if (team_lane(ctx) == 0) ctx.shared_store(ovf, t, 0u, TCGPU_SITE());
+      team_hash(ctx, overflow).reset_slice(ctx, team_lane(ctx), team_size);
     };
 
     auto build = [=](simt::ThreadCtx& ctx, simt::NoState&,
@@ -89,23 +100,10 @@ AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       const std::uint32_t u = ctx.load(vlist, item, TCGPU_SITE());
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
-      auto len = len_array(ctx);
-      auto table = table_array(ctx);
-      auto ovf = ovf_cursor(ctx);
-      const std::uint32_t t = team_in_block(ctx);
-      const std::uint32_t team_global = ctx.block_id() * tpb + t;
+      auto h = team_hash(ctx, overflow);
       for (std::uint32_t i = ub + team_lane(ctx); i < ue; i += team_size) {
         const std::uint32_t x = ctx.load(g.col, i, TCGPU_SITE());
-        ctx.compute(1);  // hash
-        const std::uint32_t b = x % buckets;
-        const std::uint32_t pos = ctx.shared_atomic_add(len, t * buckets + b, 1u, TCGPU_SITE());
-        if (pos < slots) {
-          ctx.shared_store(table, t * slots * buckets + pos * buckets + b, x, TCGPU_SITE());
-        } else {
-          const std::uint32_t opos = ctx.shared_atomic_add(ovf, t, 1u, TCGPU_SITE());
-          ctx.store(overflow,
-                    static_cast<std::size_t>(team_global) * ovf_cap + opos, x, TCGPU_SITE());
-        }
+        h.insert(ctx, x);
       }
     };
 
@@ -115,11 +113,7 @@ AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
       const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
       const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
       if (ub >= ue) return;
-      auto len = len_array(ctx);
-      auto table = table_array(ctx);
-      auto ovf = ovf_cursor(ctx);
-      const std::uint32_t t = team_in_block(ctx);
-      const std::uint32_t team_global = ctx.block_id() * tpb + t;
+      auto h = team_hash(ctx, overflow);
 
       // Flattened 2-hop iteration with stride team_size (Hu-style; §III-H:
       // "uses all 2-hop neighbors as queries to find matches in the 1-hop
@@ -141,23 +135,7 @@ AlgoResult TrustCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
         }
         if (u_point < ue) {
           const std::uint32_t w = ctx.load(g.col, v_point + v_offset, TCGPU_SITE());
-          ctx.compute(1);  // hash
-          const std::uint32_t b = w % buckets;
-          const std::uint32_t blen = ctx.shared_load(len, t * buckets + b, TCGPU_SITE());
-          bool hit = false;
-          const std::uint32_t in_shared = std::min(blen, slots);
-          for (std::uint32_t s = 0; s < in_shared && !hit; ++s) {
-            hit = ctx.shared_load(table, t * slots * buckets + s * buckets + b, TCGPU_SITE()) == w;
-          }
-          if (!hit && blen > slots) {
-            const std::uint32_t olen = ctx.shared_load(ovf, t, TCGPU_SITE());
-            for (std::uint32_t j = 0; j < olen && !hit; ++j) {
-              hit = ctx.load(overflow,
-                             static_cast<std::size_t>(team_global) * ovf_cap + j, TCGPU_SITE()) ==
-                    w;
-            }
-          }
-          if (hit) ++local;
+          if (h.contains(ctx, w)) ++local;
         }
         v_offset += team_size;
       }

@@ -51,12 +51,51 @@ TEST(Registry, HeadlineTrioForFigure15) {
   EXPECT_EQ(trio[2].name, "GroupTC");
 }
 
-TEST(Registry, ExtendedSetAppendsGroupTcHash) {
+TEST(Registry, ExtendedSetAppendsVariantsAndLibraryKernels) {
   const auto& ext = extended_algorithms();
-  ASSERT_EQ(ext.size(), all_algorithms().size() + 1);
-  EXPECT_EQ(ext.back().name, "GroupTC-H");
+  ASSERT_EQ(ext.size(), all_algorithms().size() + 4);
+  EXPECT_EQ(ext[all_algorithms().size()].name, "GroupTC-H");
+  EXPECT_EQ(ext[all_algorithms().size() + 1].name, "MergePath");
+  EXPECT_EQ(ext[all_algorithms().size() + 2].name, "BSR");
+  EXPECT_EQ(ext.back().name, "BFS-LA");
   const auto algo = make_algorithm("GroupTC-H");
   EXPECT_EQ(algo->traits().intersection, "Hash");
+}
+
+TEST(Registry, LibraryKernelTraitsFillTaxonomyCells) {
+  const auto check = [](const std::string& name, const std::string& iterator,
+                        const std::string& intersection,
+                        const std::string& granularity, int year) {
+    const auto t = make_algorithm(name)->traits();
+    EXPECT_EQ(t.iterator, iterator) << name;
+    EXPECT_EQ(t.intersection, intersection) << name;
+    EXPECT_EQ(t.granularity, granularity) << name;
+    EXPECT_EQ(t.year, year) << name;
+  };
+  check("MergePath", "edge", "Merge", "fine", 2014);
+  check("BSR", "vertex", "BitMap", "coarse", 2019);
+  check("BFS-LA", "vertex", "Merge", "coarse", 2019);
+}
+
+TEST(Registry, PoolIsPaperNinePlusLibraryKernels) {
+  const auto& pool = pool_algorithms();
+  ASSERT_EQ(pool.size(), all_algorithms().size() + 3);
+  for (std::size_t i = 0; i < all_algorithms().size(); ++i) {
+    EXPECT_EQ(pool[i].name, all_algorithms()[i].name);
+  }
+  EXPECT_EQ(pool.back().name, "BFS-LA");
+  // GroupTC-H is an ablation variant, not a selectable kernel.
+  for (const auto& e : pool) EXPECT_NE(e.name, "GroupTC-H");
+}
+
+TEST(Registry, NamePredicateAndValidListAgree) {
+  EXPECT_TRUE(is_algorithm_name("Polak"));
+  EXPECT_TRUE(is_algorithm_name("BSR"));
+  EXPECT_FALSE(is_algorithm_name("cuGraph"));
+  const auto& list = valid_algorithm_list();
+  for (const auto& e : extended_algorithms()) {
+    EXPECT_NE(list.find(e.name), std::string::npos) << e.name;
+  }
 }
 
 TEST(Registry, UnknownNameThrows) {

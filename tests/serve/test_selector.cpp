@@ -34,7 +34,7 @@ graph::GraphStats large_stats() {
 
 TEST(SelectorModels, DefaultUniverseMatchesRegistry) {
   const auto models = Selector::default_models();
-  const auto& algos = framework::all_algorithms();
+  const auto& algos = framework::pool_algorithms();
   ASSERT_EQ(models.size(), algos.size());
   for (std::size_t i = 0; i < models.size(); ++i) {
     EXPECT_EQ(models[i].name, algos[i].name);  // same names, same order

@@ -1,0 +1,87 @@
+// Bit-identical KernelStats regression gate: one kernel per intersection
+// family, pinned against checked-in counter seeds on a fixed R-MAT graph.
+//
+// The tc/intersect/ library's porting contract is that composing a kernel
+// from the shared policies leaves its per-lane event sequence — and
+// therefore every simulated counter — exactly as the pre-library kernel
+// produced it. These seeds were captured from that baseline; any drift in a
+// policy's load/store/atomic placement shows up here as an off-by-N, not as
+// a vague perf delta. time_ms is intentionally not pinned (it follows from
+// the counters via the time model, which may be retuned independently).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "framework/registry.hpp"
+#include "framework/runner.hpp"
+#include "gen/rmat.hpp"
+
+namespace tcgpu::tc {
+namespace {
+
+struct PinnedMetrics {
+  const char* algorithm;  // one per Table I intersection family
+  const char* launch;
+  std::uint64_t gld_req, gld_tx, gst_req, gst_tx, gatom_req, gatom_tx, dram;
+  std::uint64_t sld_req, sst_req, satom_req, conflict;
+  std::uint64_t warp_steps, lane_steps, warps;
+};
+
+// Captured on rmat(scale=11, edges=15000, seed=77), GpuSpec::v100(),
+// default kernel configs, one fresh Device per kernel (DRAM sector counts
+// depend on cache state, so each kernel is pinned cold); the graph counts
+// 80612 triangles.
+constexpr PinnedMetrics kPinned[] = {
+    {"Polak", "polak_merge",  // Merge family
+     35255, 321769, 0, 0, 461, 461, 30827, 0, 0, 0, 0, 35716, 645209, 640},
+    {"GroupTC", "grouptc_chunk",  // Bin-Search family
+     45375, 225870, 0, 0, 464, 464, 31283, 125319, 6608, 0, 2788, 177766,
+     5579159, 640},
+    {"TRUST", "trust_warp",  // Hash family
+     63322, 108886, 1, 1, 1168, 1168, 36450, 19911, 4020, 1371, 8051, 100997,
+     2861400, 1328},
+    {"Bisson", "bisson_warp",  // BitMap family
+     116786, 395043, 1648, 2925, 2816, 4093, 34010, 0, 0, 0, 0, 121250,
+     1024482, 640},
+};
+
+TEST(StatsPinned, OneKernelPerFamilyBitIdentical) {
+  gen::RmatParams p;
+  p.scale = 11;
+  p.edges = 15'000;
+  const auto pg = framework::prepare_graph("rmat_pin", gen::generate_rmat(p, 77));
+  const simt::GpuSpec spec = simt::GpuSpec::v100();
+
+  for (const auto& pin : kPinned) {
+    simt::Device dev;  // fresh device: every kernel is pinned on a cold cache
+    const DeviceGraph g = DeviceGraph::upload(dev, pg.dag);
+    const auto algo = framework::make_algorithm(pin.algorithm);
+    const AlgoResult r = algo->count(dev, spec, g);
+    EXPECT_EQ(r.triangles, 80'612u) << pin.algorithm;
+
+    const simt::KernelMetrics* m = nullptr;
+    for (const auto& [name, stats] : r.launches) {
+      if (name == pin.launch) m = &stats.metrics;
+    }
+    ASSERT_NE(m, nullptr) << pin.algorithm << " lost launch " << pin.launch;
+
+    EXPECT_EQ(m->global_load_requests, pin.gld_req) << pin.algorithm;
+    EXPECT_EQ(m->global_load_transactions, pin.gld_tx) << pin.algorithm;
+    EXPECT_EQ(m->global_store_requests, pin.gst_req) << pin.algorithm;
+    EXPECT_EQ(m->global_store_transactions, pin.gst_tx) << pin.algorithm;
+    EXPECT_EQ(m->global_atomic_requests, pin.gatom_req) << pin.algorithm;
+    EXPECT_EQ(m->global_atomic_transactions, pin.gatom_tx) << pin.algorithm;
+    EXPECT_EQ(m->global_dram_transactions, pin.dram) << pin.algorithm;
+    EXPECT_EQ(m->shared_load_requests, pin.sld_req) << pin.algorithm;
+    EXPECT_EQ(m->shared_store_requests, pin.sst_req) << pin.algorithm;
+    EXPECT_EQ(m->shared_atomic_requests, pin.satom_req) << pin.algorithm;
+    EXPECT_EQ(m->shared_conflict_cycles, pin.conflict) << pin.algorithm;
+    EXPECT_EQ(m->warp_steps, pin.warp_steps) << pin.algorithm;
+    EXPECT_EQ(m->active_lane_steps, pin.lane_steps) << pin.algorithm;
+    EXPECT_EQ(m->warps_launched, pin.warps) << pin.algorithm;
+  }
+}
+
+}  // namespace
+}  // namespace tcgpu::tc
