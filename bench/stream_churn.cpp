@@ -1,0 +1,172 @@
+// Delta-maintenance vs full-re-prepare crossover sweep for src/stream/.
+//
+// For each dataset, seeds a stream::DynamicGraph from the prepared DAG and
+// drives deterministic mixed insert/delete churn (stream::ChurnGenerator)
+// at a range of batch sizes. Each row reports the mean host-side commit
+// cost per batch against the dataset's measured full-re-prepare cost (the
+// generate/clean/orient/reference pipeline a non-incremental server would
+// rerun per batch), plus the simulated delta-kernel time. The sweep ends
+// with the per-dataset crossover batch size — the smallest swept batch
+// where a delta commit stops beating a full re-prepare (the paper-scale
+// graphs stay delta-favored well past thousand-edge batches).
+//
+// Every (dataset, batch) cell ends with an exact cross-check: the
+// maintained count must equal a fresh CPU forward count of the final
+// snapshot's materialized DAG — any mismatch exits 1, so the bench doubles
+// as a correctness gate.
+//
+// Flags: the shared set (--datasets, --max-edges, --seed, --csv/--json, ...)
+// plus --mutations=N (ops per cell), --stream-batch=a,b,c (batch sizes to
+// sweep), --snapshots=N (history depth), and --quick (small CI shape).
+//
+// Try: stream_churn --datasets=As-Caida,Soc-Pokec,Com-Orkut --quick
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "framework/engine.hpp"
+#include "framework/report.hpp"
+#include "graph/cpu_reference.hpp"
+#include "stream/churn.hpp"
+#include "stream/dynamic_graph.hpp"
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tcgpu;
+
+  // --quick is bench-local (CI shape); strip it before the shared parser.
+  bool quick = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  framework::BenchOptions opt;
+  try {
+    opt = framework::BenchOptions::parse(static_cast<int>(args.size()),
+                                         args.data());
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+
+  std::vector<std::string> datasets = opt.datasets;
+  if (datasets.empty()) datasets = {"As-Caida", "Soc-Pokec", "Com-Orkut"};
+  std::vector<std::uint64_t> batches = opt.stream_batch;
+  if (batches.empty()) {
+    batches = quick ? std::vector<std::uint64_t>{4, 64}
+                    : std::vector<std::uint64_t>{1, 16, 128, 1024, 4096};
+  }
+  const std::uint64_t mutations =
+      opt.mutations != 0 ? opt.mutations : (quick ? 256 : 4096);
+  const std::size_t snapshots = opt.snapshots != 0 ? opt.snapshots : 4;
+
+  framework::Engine engine(opt);
+  stream::DynamicGraph::Config dyn_cfg;
+  dyn_cfg.spec = engine.config().spec;
+  dyn_cfg.history = snapshots;
+
+  framework::ResultTable table({"dataset", "batch", "rounds", "applied",
+                                "skipped", "mean_commit_ms", "kernel_ms",
+                                "reprepare_ms", "speedup"});
+  std::vector<std::string> crossover_lines;
+  bool all_exact = true;
+
+  for (const auto& name : datasets) {
+    framework::Engine::GraphHandle pg;
+    try {
+      pg = engine.prepare(name);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+
+    // The non-incremental baseline: what answering after a batch costs when
+    // the whole pipeline reruns. Measured fresh (uncached) per dataset.
+    const auto spec = gen::dataset_by_name(name);
+    const auto rp0 = std::chrono::steady_clock::now();
+    const auto reprep = framework::prepare_dataset(spec, opt.max_edges,
+                                                   opt.seed);
+    const double reprepare_ms = wall_ms_since(rp0);
+    if (reprep.reference_triangles != pg->reference_triangles) {
+      std::cerr << name << ": re-prepare count drifted\n";
+      return 1;
+    }
+
+    std::uint64_t crossover = 0;
+    for (const auto batch : batches) {
+      stream::DynamicGraph dyn(pg->dag, dyn_cfg);
+      stream::ChurnGenerator churn(opt.seed ^ dyn.triangles());
+      const std::uint64_t rounds =
+          std::max<std::uint64_t>(1, mutations / batch);
+
+      double commit_ms = 0.0;
+      double kernel_ms = 0.0;
+      std::uint64_t applied = 0;
+      std::uint64_t skipped = 0;
+      for (std::uint64_t r = 0; r < rounds; ++r) {
+        const auto ops = churn.next_batch(*dyn.snapshot(),
+                                          static_cast<std::size_t>(batch));
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto cr = dyn.commit(ops);
+        commit_ms += wall_ms_since(t0);
+        kernel_ms += cr.stats.time_ms;
+        applied += cr.inserted + cr.removed;
+        skipped += cr.skipped;
+      }
+      const double mean_ms = commit_ms / static_cast<double>(rounds);
+
+      // Exact-maintenance gate: the maintained count vs a fresh CPU count
+      // of the final snapshot, every cell.
+      const auto snap = dyn.snapshot();
+      const std::uint64_t fresh =
+          graph::count_triangles_forward(snap->materialize_dag());
+      if (fresh != dyn.triangles()) {
+        std::cerr << name << " batch=" << batch
+                  << ": maintained count " << dyn.triangles()
+                  << " != fresh recount " << fresh << '\n';
+        all_exact = false;
+      }
+
+      if (crossover == 0 && mean_ms >= reprepare_ms) crossover = batch;
+      table.add_row({name, std::to_string(batch), std::to_string(rounds),
+                     std::to_string(applied), std::to_string(skipped),
+                     framework::ResultTable::fmt(mean_ms, 4),
+                     framework::ResultTable::fmt(kernel_ms, 4),
+                     framework::ResultTable::fmt(reprepare_ms, 4),
+                     framework::ResultTable::fmt(
+                         mean_ms > 0.0 ? reprepare_ms / mean_ms : 0.0, 1)});
+    }
+    crossover_lines.push_back(
+        "# " + name + " crossover: " +
+        (crossover == 0 ? "none (delta wins at every swept batch size)"
+                        : "batch >= " + std::to_string(crossover)));
+  }
+
+  framework::emit(table, opt, std::cout,
+                  "Delta commit vs full re-prepare (" +
+                      std::to_string(mutations) + " ops/cell, seed " +
+                      std::to_string(opt.seed) + ", edge cap " +
+                      std::to_string(opt.max_edges) + ")");
+  if (!opt.csv && !opt.json) {
+    for (const auto& line : crossover_lines) std::cout << line << '\n';
+  }
+
+  if (!all_exact) return 1;
+  return engine.exit_code();
+}

@@ -184,6 +184,19 @@ bool Engine::evict(const std::string& dataset_name) {
   return evict(PrepareKey{dataset_name, cfg_.max_edges, cfg_.seed, cfg_.policy});
 }
 
+std::size_t Engine::invalidate(const std::string& dataset_name) {
+  std::lock_guard lk(cache_mu_);
+  std::vector<PrepareKey> victims;
+  for (const auto& [key, entry] : cache_) {
+    if (key.dataset == dataset_name) victims.push_back(key);
+  }
+  std::size_t dropped = 0;
+  for (const auto& key : victims) {
+    if (evict_locked(key, /*force=*/true)) ++dropped;
+  }
+  return dropped;
+}
+
 std::size_t Engine::resident_graphs() const {
   std::lock_guard lk(cache_mu_);
   return cache_.size();

@@ -132,6 +132,11 @@ class Engine {
   bool evict(const PrepareKey& key);
   /// Same for a paper dataset under this engine's cap/seed/policy.
   bool evict(const std::string& dataset_name);
+  /// Drops every cached prepare of `dataset_name` regardless of cap, seed
+  /// or orientation policy (plus their pooled device images). The stream
+  /// layer calls this on a version bump so no pre-mutation prepare can be
+  /// re-served from the cache. Returns how many entries were dropped.
+  std::size_t invalidate(const std::string& dataset_name);
   /// Prepared graphs currently cached (≤ Config::max_resident when capped).
   std::size_t resident_graphs() const;
   /// Drops the pooled device image for one graph handle (the cache entry,

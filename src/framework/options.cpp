@@ -119,6 +119,33 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       opt.queries = parse_u64(value, "queries");
     } else if (take_flag(arg, "check-picks", &value)) {
       opt.check_picks = value;
+    } else if (take_flag(arg, "mutations", &value)) {
+      const std::uint64_t n = parse_u64(value, "mutations");
+      if (n < 1) {
+        throw std::invalid_argument("--mutations must be >= 1, got " + value);
+      }
+      opt.mutations = n;
+    } else if (take_flag(arg, "stream-batch", &value)) {
+      const auto items = split_list(value);
+      if (items.empty()) {
+        throw std::invalid_argument(
+            "--stream-batch needs at least one batch size");
+      }
+      for (const auto& item : items) {
+        const std::uint64_t n = parse_u64(item, "stream-batch");
+        if (n < 1 || n > 1'048'576) {
+          throw std::invalid_argument(
+              "--stream-batch sizes must be in [1, 1048576], got " + item);
+        }
+        opt.stream_batch.push_back(n);
+      }
+    } else if (take_flag(arg, "snapshots", &value)) {
+      const std::uint64_t n = parse_u64(value, "snapshots");
+      if (n < 1 || n > 64) {
+        throw std::invalid_argument("--snapshots must be in [1, 64], got " +
+                                    value);
+      }
+      opt.snapshots = static_cast<std::size_t>(n);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through untouched
     } else {

@@ -36,10 +36,16 @@ struct BenchOptions {
   /// asserts after warmup (CI regression gate); "" = no assertion.
   std::string check_picks;
 
+  /// Streaming benches only (src/stream/): churn-workload shape.
+  std::uint64_t mutations = 0;            ///< total edge ops; 0 = bench default
+  std::vector<std::uint64_t> stream_batch;  ///< batch sizes to sweep; empty = default
+  std::size_t snapshots = 0;              ///< snapshot history depth; 0 = default
+
   /// Parses argv (flags: --max-edges=N --seed=N --full --csv --json
   /// --gpu=NAME --datasets=a,b,c --algos=a,b,c --algo=NAME --jobs=N
   /// --serial --max-resident=N --gpus=N --partition=range|hash|2d
-  /// --clients=N --queries=N --check-picks=ds:algo,...) with
+  /// --clients=N --queries=N --check-picks=ds:algo,...
+  /// --mutations=N --stream-batch=a,b,c --snapshots=N) with
   /// TCGPU_EDGE_CAP / TCGPU_SEED / TCGPU_JOBS as fallbacks.
   /// Unknown flags, unknown --datasets/--algos names and malformed numbers
   /// all throw with a one-line message naming the valid choices; bench

@@ -216,4 +216,19 @@ std::size_t Selector::observations() const {
   return observed_.size();
 }
 
+std::size_t Selector::forget(const graph::GraphStats& stats) {
+  const std::uint64_t id = graph_identity(stats);
+  std::lock_guard lk(mu_);
+  std::size_t dropped = 0;
+  for (auto it = observed_.begin(); it != observed_.end();) {
+    if (it->first.second == id) {
+      it = observed_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 }  // namespace tcgpu::serve

@@ -146,6 +146,13 @@ class Selector {
   /// Number of distinct (algorithm, graph) observations folded so far.
   std::size_t observations() const;
 
+  /// Drops every folded observation for this graph identity (all
+  /// algorithms). The serve layer calls it when a streamed graph's version
+  /// bumps: the old ratios describe a graph that no longer exists, and the
+  /// next choice must re-score from the updated GraphStats alone. Returns
+  /// how many observations were dropped.
+  std::size_t forget(const graph::GraphStats& stats);
+
   const std::vector<AlgoModel>& models() const { return models_; }
   const Config& config() const { return cfg_; }
 

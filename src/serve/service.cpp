@@ -4,6 +4,9 @@
 #include <exception>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
+
+#include "stream/dynamic_graph.hpp"
 
 namespace tcgpu::serve {
 
@@ -49,6 +52,19 @@ struct QueryService::Pending {
   std::promise<QueryReply> promise;
 };
 
+/// Per-dataset streaming state, created on the first mutation. `m` guards
+/// every field and is taken BEFORE mu_ whenever both are held (mu_ is only
+/// ever taken alone or inside an `m` scope, never the other way around).
+struct QueryService::StreamState {
+  std::mutex m;
+  std::unique_ptr<stream::DynamicGraph> dyn;
+  /// The current version's snapshot materialized as a PreparedGraph; its
+  /// pooled device image is released on the next version bump (and at
+  /// shutdown), so exactly one upload per dataset version stays live.
+  framework::Engine::GraphHandle materialized;
+  std::uint64_t materialized_version = 0;
+};
+
 QueryService::QueryService(framework::Engine& engine, Config cfg)
     : QueryService(engine,
                    Selector::Config{engine.config().spec, cfg.refine}, cfg) {}
@@ -78,6 +94,22 @@ void QueryService::shutdown() {
   for (auto& t : workers_) {
     if (t.joinable()) t.join();
   }
+  // Workers are gone: drop the streamed snapshots' pooled device images so
+  // the (longer-lived) engine does not keep dead uploads resident.
+  std::vector<std::shared_ptr<StreamState>> states;
+  {
+    std::lock_guard lk(mu_);
+    states.reserve(streams_.size());
+    for (auto& [name, ss] : streams_) states.push_back(ss);
+  }
+  for (auto& ss : states) {
+    std::lock_guard slk(ss->m);
+    if (ss->materialized) {
+      engine_.release_device(ss->materialized);
+      ss->materialized.reset();
+      ss->materialized_version = 0;
+    }
+  }
 }
 
 std::future<QueryReply> QueryService::submit(QueryRequest req) {
@@ -90,7 +122,8 @@ std::future<QueryReply> QueryService::submit(QueryRequest req) {
   early.dataset = pending->req.dataset.empty()
                       ? (pending->req.name.empty() ? "inline" : pending->req.name)
                       : pending->req.dataset;
-  if (pending->req.dataset.empty() && pending->req.edges.edges.empty()) {
+  if (pending->req.dataset.empty() && pending->req.edges.edges.empty() &&
+      !pending->req.is_mutation()) {
     early.status = QueryStatus::kInvalidRequest;
     early.error = "query names no dataset and carries no edges";
   } else if (queue_.closed()) {
@@ -152,6 +185,131 @@ void QueryService::finish(Pending& p, QueryReply reply) {
   p.promise.set_value(std::move(reply));
 }
 
+std::shared_ptr<QueryService::StreamState> QueryService::stream_state(
+    const std::string& dataset, bool create) {
+  std::lock_guard lk(mu_);
+  const auto it = streams_.find(dataset);
+  if (it != streams_.end()) return it->second;
+  if (!create) return nullptr;
+  auto ss = std::make_shared<StreamState>();
+  streams_.emplace(dataset, ss);
+  return ss;
+}
+
+framework::Engine::GraphHandle QueryService::stream_handle(
+    StreamState& ss, const std::string& dataset, std::uint64_t* version) {
+  // Caller holds ss.m. One materialization (and thus one device upload, on
+  // first run) per dataset version; the previous version's image is released
+  // the moment it goes stale.
+  const auto snap = ss.dyn->snapshot();
+  if (version != nullptr) *version = snap->version();
+  if (ss.materialized && ss.materialized_version == snap->version()) {
+    return ss.materialized;
+  }
+  if (ss.materialized) engine_.release_device(ss.materialized);
+  auto pg = std::make_shared<framework::PreparedGraph>();
+  pg->name = dataset;
+  pg->stats = snap->stats();
+  pg->dag = snap->materialize_dag();
+  pg->reference_triangles = snap->triangles();
+  ss.materialized = pg;
+  ss.materialized_version = snap->version();
+  return pg;
+}
+
+void QueryService::handle_mutation(Pending& p, const std::string& label) {
+  QueryReply reply;
+  reply.dataset = label;
+  reply.algorithm = "stream-delta";
+
+  if (p.req.dataset.empty()) {
+    reply.status = QueryStatus::kInvalidRequest;
+    reply.error = "mutations require a named dataset (inline graphs cannot mutate)";
+    finish(p, std::move(reply));
+    return;
+  }
+
+  const auto ss = stream_state(p.req.dataset, /*create=*/true);
+  bool changed = false;
+  std::uint64_t new_version = 0;
+  {
+    std::lock_guard slk(ss->m);
+    p.trace.prepare_start = now();
+    try {
+      if (!ss->dyn) {
+        // First mutation moves the dataset onto a DynamicGraph, seeded from
+        // the same prepared DAG a count query would use.
+        const auto seed = engine_.prepare(p.req.dataset);
+        ss->dyn = std::make_unique<stream::DynamicGraph>(
+            seed->dag, stream::DynamicGraph::Config{engine_.config().spec,
+                                                    cfg_.snapshots, 256});
+      }
+    } catch (const std::exception& e) {
+      p.trace.prepare_done = now();
+      reply.status = QueryStatus::kInvalidRequest;
+      reply.error = e.what();
+      finish(p, std::move(reply));
+      return;
+    }
+    p.trace.prepare_done = now();
+
+    const graph::GraphStats old_stats = ss->dyn->snapshot()->stats();
+    std::vector<stream::EdgeOp> ops;
+    ops.reserve(p.req.insert_edges.size() + p.req.remove_edges.size());
+    for (const auto& [u, v] : p.req.insert_edges) ops.push_back({u, v, true});
+    for (const auto& [u, v] : p.req.remove_edges) ops.push_back({u, v, false});
+
+    p.trace.run_start = now();
+    stream::CommitResult cr;
+    try {
+      cr = ss->dyn->commit(ops);
+    } catch (const std::exception& e) {
+      p.trace.run_done = now();
+      reply.status = QueryStatus::kError;
+      reply.error = e.what();
+      finish(p, std::move(reply));
+      return;
+    }
+    p.trace.run_done = now();
+
+    changed = cr.changed;
+    new_version = cr.version;
+    if (cr.changed) {
+      // The version bumped: every layer describing the old graph goes. The
+      // previous snapshot's pooled device image, the engine's cached
+      // prepares of the dataset (a cache hit would resurrect pre-mutation
+      // data), and the selector's folded refinement for the old stats.
+      if (ss->materialized) {
+        engine_.release_device(ss->materialized);
+        ss->materialized.reset();
+        ss->materialized_version = 0;
+      }
+      engine_.invalidate(p.req.dataset);
+      selector_.forget(old_stats);
+    }
+
+    reply.status = QueryStatus::kOk;
+    reply.version = cr.version;
+    reply.delta_triangles = cr.delta_triangles;
+    reply.triangles = cr.triangles;
+    reply.valid = true;
+    reply.stats = cr.stats;
+  }
+
+  {
+    std::lock_guard lk(mu_);
+    ++counters_.mutations;
+    if (changed && cfg_.sticky_picks) {
+      // Latches below the new version describe a graph that no longer
+      // exists; the next count query re-scores and re-latches at version N.
+      picks_.erase(
+          picks_.lower_bound(PickKey{p.req.dataset, 0, Hint::kAuto}),
+          picks_.lower_bound(PickKey{p.req.dataset, new_version, Hint::kAuto}));
+    }
+  }
+  finish(p, std::move(reply));
+}
+
 void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
   const auto admit = now();
   for (auto& p : batch) p->trace.admit = admit;
@@ -167,35 +325,70 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
       is_inline ? (head.req.name.empty() ? "inline" : head.req.name)
                 : head.req.dataset;
 
-  // One prepare/upload for the whole batch. The engine caches dataset
-  // prepares by key; inline graphs run the pipeline once here and share the
-  // handle (and the device image) across the batch.
+  // One prepare/upload serves every count query at the same version. The
+  // resolution is lazy and re-done after each mutation in the batch, so a
+  // count query admitted behind a mutation answers against the version that
+  // mutation produced (same-key batching keeps the submission order).
   framework::Engine::GraphHandle graph;
-  const auto prepare_start = now();
-  try {
-    graph = is_inline ? engine_.prepare_raw(label, head.req.edges)
-                      : engine_.prepare(head.req.dataset);
-  } catch (const std::exception& e) {
-    const auto prepare_done = now();
-    for (auto& p : batch) {
-      p->trace.prepare_start = prepare_start;
-      p->trace.prepare_done = prepare_done;
-      QueryReply reply;
-      reply.dataset = label;
-      reply.status = QueryStatus::kInvalidRequest;
-      reply.error = e.what();
-      finish(*p, std::move(reply));
+  framework::Engine::GraphHandle inline_graph;  // released after the batch
+  std::uint64_t graph_version = 0;
+  bool from_stream = false;
+  bool resolved = false;
+  std::string resolve_error;
+  QueryTrace::TimePoint prepare_start{};
+  QueryTrace::TimePoint prepare_done{};
+
+  const auto resolve = [&] {
+    if (resolved) return;
+    resolved = true;
+    resolve_error.clear();
+    graph = nullptr;
+    graph_version = 0;
+    from_stream = false;
+    prepare_start = now();
+    try {
+      if (is_inline) {
+        if (!inline_graph) {
+          inline_graph = engine_.prepare_raw(label, head.req.edges);
+        }
+        graph = inline_graph;
+      } else {
+        if (const auto ss = stream_state(head.req.dataset, /*create=*/false)) {
+          std::lock_guard slk(ss->m);
+          if (ss->dyn) {
+            graph = stream_handle(*ss, head.req.dataset, &graph_version);
+            from_stream = true;
+          }
+        }
+        if (!graph) graph = engine_.prepare(head.req.dataset);
+      }
+    } catch (const std::exception& e) {
+      resolve_error = e.what();
     }
-    return;
-  }
-  const auto prepare_done = now();
+    prepare_done = now();
+  };
 
   for (auto& p : batch) {
+    if (p->req.is_mutation()) {
+      handle_mutation(*p, label);
+      resolved = false;  // the next count query re-resolves at the new version
+      continue;
+    }
+
+    resolve();
     p->trace.prepare_start = prepare_start;
     p->trace.prepare_done = prepare_done;
 
     QueryReply reply;
     reply.dataset = label;
+    reply.version = graph_version;
+
+    if (!resolve_error.empty()) {
+      reply.status = QueryStatus::kInvalidRequest;
+      reply.error = resolve_error;
+      finish(*p, std::move(reply));
+      continue;
+    }
 
     if (p->req.deadline_ms > 0.0 &&
         QueryTrace::span_ms(p->trace.enqueue, now()) > p->req.deadline_ms) {
@@ -206,11 +399,12 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
     }
 
     // Selection: caller override wins; otherwise the cost model, latched
-    // per (graph, hint) so a graph's routing is stable for the process.
+    // per (graph, version, hint) so a graph's routing is stable until its
+    // next mutation.
     std::string algo = p->req.algorithm;
     if (algo.empty()) {
       reply.selected = true;
-      const std::pair<std::string, Hint> pick_key{p->key, p->req.hint};
+      const PickKey pick_key{p->key, graph_version, p->req.hint};
       bool latched = false;
       if (cfg_.sticky_picks) {
         std::lock_guard lk(mu_);
@@ -258,6 +452,10 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
       if (cfg_.refine) {
         selector_.observe(algo, graph->stats, out.result.total);
       }
+      if (from_stream) {
+        std::lock_guard lk(mu_);
+        ++counters_.stream_queries;
+      }
     } catch (const std::out_of_range& e) {
       p->trace.run_done = now();
       reply.status = QueryStatus::kInvalidRequest;  // unknown forced kernel
@@ -271,7 +469,7 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
   }
 
   // One-shot graphs must not accumulate device images in the pool.
-  if (is_inline) engine_.release_device(graph);
+  if (inline_graph) engine_.release_device(inline_graph);
 }
 
 ServiceCounters QueryService::counters() const {
@@ -285,13 +483,31 @@ std::vector<std::pair<std::string, std::string>> QueryService::decision_table()
   std::lock_guard lk(mu_);
   out.reserve(picks_.size());
   for (const auto& [key, algo] : picks_) {
-    std::string label = key.first;
-    if (key.second != Hint::kAuto) {
-      label += "@" + std::string(to_string(key.second));
+    const auto& [name, version, hint] = key;
+    std::string label = name;
+    if (version != 0) {
+      label += "@v";
+      label += std::to_string(version);
+    }
+    if (hint != Hint::kAuto) {
+      label += '@';
+      label += to_string(hint);
     }
     out.emplace_back(std::move(label), algo);
   }
   return out;
+}
+
+std::uint64_t QueryService::dataset_version(const std::string& dataset) const {
+  std::shared_ptr<StreamState> ss;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = streams_.find(dataset);
+    if (it == streams_.end()) return 0;
+    ss = it->second;
+  }
+  std::lock_guard slk(ss->m);
+  return ss->dyn ? ss->dyn->version() : 0;
 }
 
 }  // namespace tcgpu::serve

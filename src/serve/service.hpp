@@ -13,12 +13,24 @@
 // LRU-capped (Engine::Config::max_resident / Engine::evict), and device
 // images of one-shot inline graphs are released after their batch.
 //
+// Mutations (DESIGN.md "Streaming & versioning"): a request may carry edge
+// inserts/removals for a named dataset. The first mutation moves the
+// dataset onto a stream::DynamicGraph; the batch commits as one delta
+// (inserts first, then removals) and bumps the dataset's version. A version
+// bump invalidates every stale layer — the Engine's cached prepares of the
+// dataset, the old snapshot's pooled device image, the Selector's folded
+// refinement for the old stats, and the sticky picks latched below the new
+// version. Count queries on a streamed dataset answer from the current
+// snapshot's materialized DAG (re-uploaded once per version, never
+// re-prepared from scratch).
+//
 // Determinism contract: for a fixed workload set, selector decisions and
-// counts are reproducible. Decisions are latched per (graph, hint) on first
-// choice, and refinement state is keyed by (algorithm, graph), so neither
-// depends on which worker finished first; a serial warmup (one query per
-// distinct graph, fixed order — what bench/serve_throughput does) pins the
-// whole decision table.
+// counts are reproducible. Decisions are latched per (graph, version, hint)
+// on first choice — version-keyed, so a latch cannot outlive a mutation —
+// and refinement state is keyed by (algorithm, graph), so neither depends
+// on which worker finished first; a serial warmup (one query per distinct
+// graph, fixed order — what bench/serve_throughput does) pins the whole
+// decision table.
 #pragma once
 
 #include <cstdint>
@@ -28,11 +40,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "framework/engine.hpp"
 #include "graph/coo.hpp"
+#include "graph/types.hpp"
 #include "serve/admission.hpp"
 #include "serve/selector.hpp"
 #include "serve/trace.hpp"
@@ -64,6 +78,16 @@ struct QueryRequest {
   /// Drop the query (kDeadlineExpired) if the kernel has not started this
   /// many ms after submission; 0 = no deadline.
   double deadline_ms = 0.0;
+
+  /// Mutation payload: applied to the named dataset as one batch (inserts
+  /// first, then removals), bumping its version. Endpoints are in the
+  /// served (relabeled) id space. Requires `dataset`; inline graphs cannot
+  /// mutate (kInvalidRequest).
+  std::vector<graph::Edge> insert_edges;
+  std::vector<graph::Edge> remove_edges;
+  bool is_mutation() const {
+    return !insert_edges.empty() || !remove_edges.empty();
+  }
 };
 
 struct QueryReply {
@@ -79,6 +103,11 @@ struct QueryReply {
   bool valid = false;  ///< count matched the CPU reference
   simt::KernelStats stats;
   QueryTrace trace;
+
+  /// Graph version the reply reflects (0 until the dataset first mutates).
+  std::uint64_t version = 0;
+  /// Mutation replies: triangle-count change this batch produced.
+  std::int64_t delta_triangles = 0;
 };
 
 struct ServiceCounters {
@@ -89,6 +118,8 @@ struct ServiceCounters {
   std::uint64_t errors = 0;     ///< kInvalidRequest + kError replies
   std::uint64_t batches = 0;    ///< prepare/upload groups executed
   std::uint64_t batched = 0;    ///< queries that rode an existing batch
+  std::uint64_t mutations = 0;  ///< mutation batches committed (kOk)
+  std::uint64_t stream_queries = 0;  ///< counts answered from a snapshot
 };
 
 class QueryService {
@@ -101,8 +132,11 @@ class QueryService {
     bool block_when_full = true;
     std::size_t max_batch = 32;  ///< same-graph queries fused per batch
     bool refine = true;          ///< selector online refinement
-    /// Latch the selector's decision per (graph, hint) on first choice.
+    /// Latch the selector's decision per (graph, version, hint) on first
+    /// choice; latches below the current version are pruned on mutation.
     bool sticky_picks = true;
+    /// Snapshot history depth per streamed dataset (DynamicGraph::Config).
+    std::size_t snapshots = 4;
   };
 
   /// Borrows the engine (graph cache, device pool, validation); the engine
@@ -130,16 +164,28 @@ class QueryService {
   framework::Engine& engine() { return engine_; }
   const Config& config() const { return cfg_; }
 
-  /// The latched (graph key, hint) -> algorithm decision table, sorted by
-  /// key — what bench/serve_throughput prints and CI pins.
+  /// The latched (graph key, version, hint) -> algorithm decision table,
+  /// sorted by key — what bench/serve_throughput prints and CI pins.
+  /// Version-0 entries print as the bare key (the pinned static picks);
+  /// later versions as "key@vN", and non-auto hints append "@hint".
   std::vector<std::pair<std::string, std::string>> decision_table() const;
 
+  /// Current version of a streamed dataset (0 if it never mutated).
+  std::uint64_t dataset_version(const std::string& dataset) const;
+
  private:
-  struct Pending;  ///< one queued query: request + trace + promise
+  struct Pending;      ///< one queued query: request + trace + promise
+  struct StreamState;  ///< per-dataset DynamicGraph + materialized handle
 
   void worker_loop();
   void process_batch(std::vector<std::unique_ptr<Pending>> batch);
   void finish(Pending& p, QueryReply reply);
+  void handle_mutation(Pending& p, const std::string& label);
+  std::shared_ptr<StreamState> stream_state(const std::string& dataset,
+                                            bool create);
+  framework::Engine::GraphHandle stream_handle(StreamState& ss,
+                                               const std::string& dataset,
+                                               std::uint64_t* version);
 
   framework::Engine& engine_;
   Config cfg_;
@@ -148,8 +194,10 @@ class QueryService {
   BoundedQueue<std::unique_ptr<Pending>> queue_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;  ///< guards picks_, counters_, stopped_
-  std::map<std::pair<std::string, Hint>, std::string> picks_;
+  mutable std::mutex mu_;  ///< guards picks_, streams_ shape, counters_, stopped_
+  using PickKey = std::tuple<std::string, std::uint64_t, Hint>;
+  std::map<PickKey, std::string> picks_;
+  std::map<std::string, std::shared_ptr<StreamState>> streams_;
   ServiceCounters counters_;
   bool stopped_ = false;
 };

@@ -1,0 +1,407 @@
+#include "stream/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "stream/delta_kernel.hpp"
+#include "tc/support.hpp"
+
+namespace tcgpu::stream {
+
+namespace {
+
+/// Sanity cap on op vertex ids: a typo'd id must not allocate gigabytes of
+/// per-vertex state. Ops past it are counted as skipped.
+constexpr graph::VertexId kMaxVertices = 1u << 27;
+
+std::uint64_t edge_key(graph::VertexId a, graph::VertexId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Accumulated support change for one surviving edge, folded in batch
+/// order. `fresh` marks an edge (re)inserted this batch: its support
+/// rebuilds from zero plus the insert job's match count, so contributions
+/// from before a delete→reinsert are correctly discarded.
+struct SupAcc {
+  bool fresh = false;
+  std::int64_t delta = 0;
+};
+
+graph::EdgeIndex hist_max(const std::vector<std::uint64_t>& h) {
+  for (std::size_t d = h.size(); d-- > 0;) {
+    if (h[d] != 0) return static_cast<graph::EdgeIndex>(d);
+  }
+  return 0;
+}
+
+/// Value at `idx` of the (conceptual) ascending sorted degree array —
+/// matches graph::compute_stats' percentile definitions exactly.
+graph::EdgeIndex hist_quantile(const std::vector<std::uint64_t>& h,
+                               std::size_t idx) {
+  std::uint64_t cum = 0;
+  for (std::size_t d = 0; d < h.size(); ++d) {
+    cum += h[d];
+    if (cum > idx) return static_cast<graph::EdgeIndex>(d);
+  }
+  return hist_max(h);
+}
+
+void hist_move(std::vector<std::uint64_t>& h, graph::EdgeIndex from,
+               graph::EdgeIndex to) {
+  if (to >= h.size()) h.resize(to + 1, 0);
+  --h[from];
+  ++h[to];
+}
+
+std::vector<std::uint64_t> hist_of(const std::vector<graph::EdgeIndex>& deg) {
+  std::vector<std::uint64_t> h(1, 0);
+  for (const graph::EdgeIndex d : deg) {
+    if (d >= h.size()) h.resize(d + 1, 0);
+    ++h[d];
+  }
+  return h;
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(const graph::Csr& dag, Config cfg)
+    : cfg_(std::move(cfg)) {
+  const graph::VertexId V = dag.num_vertices();
+  std::vector<std::vector<graph::VertexId>> in_lists(V);
+  for (graph::VertexId u = 0; u < V; ++u) {
+    const auto row = dag.neighbors(u);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (row[k] <= u || (k > 0 && row[k] <= row[k - 1])) {
+        throw std::invalid_argument(
+            "DynamicGraph: DAG must be id-oriented (u < v) with sorted rows");
+      }
+      in_lists[row[k]].push_back(u);  // u ascends, so in-lists stay sorted
+    }
+  }
+
+  const auto sup = tc::cpu_edge_support(dag);
+  std::uint64_t sup_sum = 0;
+  for (const std::uint32_t s : sup) sup_sum += s;
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->version_ = 0;
+  snap->num_vertices_ = V;
+  snap->num_edges_ = dag.num_edges();
+  snap->triangles_ = sup_sum / 3;
+  const std::size_t nseg =
+      (static_cast<std::size_t>(V) + Snapshot::kSegmentSize - 1) >>
+      Snapshot::kSegmentShift;
+  snap->segments_.reserve(nseg);
+  for (std::size_t s = 0; s < nseg; ++s) {
+    auto seg = std::make_shared<Snapshot::Segment>();
+    seg->off.assign(Snapshot::kSegmentSize + 1, 0);
+    for (std::uint32_t local = 0; local < Snapshot::kSegmentSize; ++local) {
+      const std::uint64_t id = (s << Snapshot::kSegmentShift) + local;
+      if (id < V) {
+        const auto v = static_cast<graph::VertexId>(id);
+        for (const graph::VertexId w : in_lists[v]) {
+          seg->adj.push_back(w);
+          seg->sup.push_back(0);
+        }
+        const auto out = dag.neighbors(v);
+        for (std::size_t k = 0; k < out.size(); ++k) {
+          seg->adj.push_back(out[k]);
+          seg->sup.push_back(sup[dag.row_ptr()[v] + k]);
+        }
+      }
+      seg->off[local + 1] = static_cast<graph::EdgeIndex>(seg->adj.size());
+    }
+    snap->segments_.push_back(std::move(seg));
+  }
+
+  degree_.assign(V, 0);
+  out_degree_.assign(V, 0);
+  for (graph::VertexId v = 0; v < V; ++v) {
+    out_degree_[v] = dag.degree(v);
+    degree_[v] = dag.degree(v) + static_cast<graph::EdgeIndex>(in_lists[v].size());
+    sum_out_sq_ += static_cast<std::uint64_t>(out_degree_[v]) * out_degree_[v];
+  }
+  deg_hist_ = hist_of(degree_);
+  out_hist_ = hist_of(out_degree_);
+  num_edges_ = dag.num_edges();
+
+  snap->stats_ = make_stats();
+  head_ = std::move(snap);
+}
+
+graph::GraphStats DynamicGraph::make_stats() const {
+  graph::GraphStats s;
+  const auto V = static_cast<graph::VertexId>(degree_.size());
+  s.num_vertices = V;
+  s.num_undirected_edges = num_edges_;
+  if (V == 0) return s;
+  // Field definitions mirror graph::compute_stats / fold_dag_stats exactly,
+  // so a snapshot's stats hash (serve's graph identity) agrees with what a
+  // fresh prepare of the same graph would produce.
+  const auto p99_idx =
+      static_cast<std::size_t>(static_cast<double>(V - 1) * 0.99);
+  s.max_degree = hist_max(deg_hist_);
+  s.median_degree = hist_quantile(deg_hist_, V / 2);
+  s.p99_degree = hist_quantile(deg_hist_, p99_idx);
+  s.avg_degree =
+      static_cast<double>(2 * num_edges_) / static_cast<double>(V);
+  s.max_out_degree = hist_max(out_hist_);
+  s.p99_out_degree = hist_quantile(out_hist_, p99_idx);
+  s.avg_out_degree =
+      static_cast<double>(num_edges_) / static_cast<double>(V);
+  s.sum_out_degree_sq = sum_out_sq_;
+  s.out_degree_skew =
+      s.avg_out_degree > 0.0
+          ? static_cast<double>(s.max_out_degree) / s.avg_out_degree
+          : 0.0;
+  return s;
+}
+
+CommitResult DynamicGraph::commit(std::span<const EdgeOp> ops) {
+  std::lock_guard lk(mu_);
+  const std::shared_ptr<const Snapshot> base = head_;
+  CommitResult res;
+  res.version = base->version();
+  res.triangles = base->triangles();
+
+  const graph::VertexId base_V = base->num_vertices();
+  graph::VertexId cur_V = base_V;
+
+  // ---- pass 1: normalize ops and stage wedge jobs ------------------------
+  // The overlay holds the evolving undirected rows of touched vertices;
+  // every job captures its endpoints' neighborhoods at its point of the
+  // batch, so the kernel's deltas compose exactly like sequential ops.
+  std::unordered_map<graph::VertexId, std::vector<graph::VertexId>> overlay;
+  auto base_row = [&](graph::VertexId x) -> std::span<const graph::VertexId> {
+    return x < base_V ? base->neighbors(x)
+                      : std::span<const graph::VertexId>{};
+  };
+  auto cur_row = [&](graph::VertexId x) -> std::span<const graph::VertexId> {
+    const auto it = overlay.find(x);
+    if (it != overlay.end()) return {it->second.data(), it->second.size()};
+    return base_row(x);
+  };
+  auto mut_row = [&](graph::VertexId x) -> std::vector<graph::VertexId>& {
+    auto it = overlay.find(x);
+    if (it == overlay.end()) {
+      const auto r = base_row(x);
+      it = overlay.emplace(x, std::vector<graph::VertexId>(r.begin(), r.end()))
+               .first;
+    }
+    return it->second;
+  };
+
+  struct StagedJob {
+    graph::VertexId a, b;
+    bool insert;
+  };
+  std::vector<graph::VertexId> staged;
+  std::vector<StagedJob> jobs;
+  std::vector<WedgeJob> ranges;
+
+  for (const EdgeOp& op : ops) {
+    const graph::VertexId a = std::min(op.u, op.v);
+    const graph::VertexId b = std::max(op.u, op.v);
+    if (a == b || b >= kMaxVertices) {
+      ++res.skipped;
+      continue;
+    }
+    const auto ra = cur_row(a);
+    const bool present = std::binary_search(ra.begin(), ra.end(), b);
+    if (op.insert == present) {  // duplicate insert or absent delete
+      ++res.skipped;
+      continue;
+    }
+    if (op.insert && b >= cur_V) {
+      const graph::VertexId grown = b + 1 - cur_V;
+      degree_.resize(b + 1, 0);
+      out_degree_.resize(b + 1, 0);
+      deg_hist_[0] += grown;
+      out_hist_[0] += grown;
+      cur_V = b + 1;
+    }
+
+    // Stage the pre-op neighborhoods. Neither contains a common element
+    // through the edge itself (w == a or w == b is impossible), so the
+    // intersection is exactly the wedge set the op opens or closes.
+    const auto rb = cur_row(b);
+    WedgeJob w;
+    w.a_lo = static_cast<std::uint32_t>(staged.size());
+    staged.insert(staged.end(), ra.begin(), ra.end());
+    w.a_hi = static_cast<std::uint32_t>(staged.size());
+    w.b_lo = w.a_hi;
+    staged.insert(staged.end(), rb.begin(), rb.end());
+    w.b_hi = static_cast<std::uint32_t>(staged.size());
+    ranges.push_back(w);
+    jobs.push_back({a, b, op.insert});
+
+    auto& va = mut_row(a);
+    auto& vb = mut_row(b);
+    const graph::EdgeIndex oa = out_degree_[a];
+    if (op.insert) {
+      va.insert(std::lower_bound(va.begin(), va.end(), b), b);
+      vb.insert(std::lower_bound(vb.begin(), vb.end(), a), a);
+      hist_move(deg_hist_, degree_[a], degree_[a] + 1);
+      hist_move(deg_hist_, degree_[b], degree_[b] + 1);
+      ++degree_[a];
+      ++degree_[b];
+      hist_move(out_hist_, oa, oa + 1);  // the out-edge lives with min id
+      sum_out_sq_ += 2ull * oa + 1;
+      ++out_degree_[a];
+      ++num_edges_;
+      ++res.inserted;
+    } else {
+      va.erase(std::lower_bound(va.begin(), va.end(), b));
+      vb.erase(std::lower_bound(vb.begin(), vb.end(), a));
+      hist_move(deg_hist_, degree_[a], degree_[a] - 1);
+      hist_move(deg_hist_, degree_[b], degree_[b] - 1);
+      --degree_[a];
+      --degree_[b];
+      hist_move(out_hist_, oa, oa - 1);
+      sum_out_sq_ -= 2ull * oa - 1;
+      --out_degree_[a];
+      --num_edges_;
+      ++res.removed;
+    }
+  }
+
+  res.wedge_jobs = static_cast<std::uint32_t>(jobs.size());
+  if (jobs.empty()) return res;  // nothing effective: version does not move
+
+  // ---- pass 2: the metered delta kernel ----------------------------------
+  const DeltaOutcome delta =
+      intersect_wedges(cfg_.spec, staged, ranges, cfg_.block);
+  res.stats = delta.stats;
+
+  // ---- pass 3: fold counts and per-edge support, in batch order ----------
+  std::unordered_map<std::uint64_t, SupAcc> acc;
+  std::int64_t dtri = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const StagedJob& job = jobs[j];
+    const std::int64_t sign = job.insert ? 1 : -1;
+    dtri += sign * delta.counts[j];
+    if (job.insert) {
+      acc[edge_key(job.a, job.b)] =
+          SupAcc{true, static_cast<std::int64_t>(delta.counts[j])};
+    } else {
+      acc.erase(edge_key(job.a, job.b));  // a dead edge keeps no support
+    }
+    for (std::uint32_t k = delta.match_off[j]; k < delta.match_off[j + 1]; ++k) {
+      const graph::VertexId w = delta.matches[k];
+      for (const graph::VertexId x : {job.a, job.b}) {
+        acc[edge_key(std::min(x, w), std::max(x, w))].delta += sign;
+      }
+    }
+  }
+  res.delta_triangles = dtri;
+
+  // ---- pass 4: rebuild only the touched copy-on-write segments -----------
+  // A segment is touched by an adjacency change (overlay), by a support
+  // change on an untouched row (the wedge edge's min endpoint), or by
+  // vertex growth; everything else shares the previous version's segment.
+  std::unordered_set<graph::VertexId> sup_touched;
+  for (const auto& [key, unused] : acc) {
+    sup_touched.insert(static_cast<graph::VertexId>(key >> 32));
+  }
+  std::unordered_set<std::size_t> touched_segs;
+  for (const auto& [v, unused] : overlay) {
+    touched_segs.insert(v >> Snapshot::kSegmentShift);
+  }
+  for (const graph::VertexId v : sup_touched) {
+    touched_segs.insert(v >> Snapshot::kSegmentShift);
+  }
+  const std::size_t old_nseg = base->num_segments();
+  const std::size_t new_nseg =
+      (static_cast<std::size_t>(cur_V) + Snapshot::kSegmentSize - 1) >>
+      Snapshot::kSegmentShift;
+  for (std::size_t s = old_nseg; s < new_nseg; ++s) touched_segs.insert(s);
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->version_ = base->version() + 1;
+  snap->num_vertices_ = cur_V;
+  snap->num_edges_ = num_edges_;
+  snap->triangles_ =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(base->triangles()) + dtri);
+  snap->stats_ = make_stats();
+  snap->segments_.resize(new_nseg);
+  for (std::size_t s = 0; s < new_nseg; ++s) {
+    if (s < old_nseg) snap->segments_[s] = base->segment(s);
+  }
+  for (const std::size_t s : touched_segs) {
+    auto seg = std::make_shared<Snapshot::Segment>();
+    seg->off.assign(Snapshot::kSegmentSize + 1, 0);
+    for (std::uint32_t local = 0; local < Snapshot::kSegmentSize; ++local) {
+      const std::uint64_t id = (s << Snapshot::kSegmentShift) + local;
+      if (id < cur_V) {
+        const auto x = static_cast<graph::VertexId>(id);
+        const auto ov = overlay.find(x);
+        if (ov == overlay.end() && sup_touched.count(x) == 0) {
+          // Innocent neighbor in a touched segment: verbatim row copy.
+          const auto row = base_row(x);
+          const auto srow =
+              x < base_V ? base->support_row(x) : std::span<const std::uint32_t>{};
+          seg->adj.insert(seg->adj.end(), row.begin(), row.end());
+          seg->sup.insert(seg->sup.end(), srow.begin(), srow.end());
+        } else {
+          const auto row = ov != overlay.end()
+                               ? std::span<const graph::VertexId>(
+                                     ov->second.data(), ov->second.size())
+                               : base_row(x);
+          for (const graph::VertexId y : row) {
+            seg->adj.push_back(y);
+            std::uint32_t val = 0;
+            if (y > x) {  // support lives in the DAG-direction slot only
+              const auto it = acc.find(edge_key(x, y));
+              std::int64_t v64 = it != acc.end() && it->second.fresh
+                                     ? 0
+                                     : static_cast<std::int64_t>(base->support(x, y));
+              if (it != acc.end()) v64 += it->second.delta;
+              val = static_cast<std::uint32_t>(v64);
+            }
+            seg->sup.push_back(val);
+          }
+        }
+      }
+      seg->off[local + 1] = static_cast<graph::EdgeIndex>(seg->adj.size());
+    }
+    snap->segments_[s] = std::move(seg);
+  }
+
+  history_.push_back(head_);
+  while (history_.size() > cfg_.history) history_.pop_front();
+  head_ = snap;
+  res.changed = true;
+  res.version = snap->version_;
+  res.triangles = snap->triangles_;
+  return res;
+}
+
+std::shared_ptr<const Snapshot> DynamicGraph::snapshot() const {
+  std::lock_guard lk(mu_);
+  return head_;
+}
+
+std::shared_ptr<const Snapshot> DynamicGraph::snapshot_at(
+    std::uint64_t version) const {
+  std::lock_guard lk(mu_);
+  if (head_->version() == version) return head_;
+  for (const auto& s : history_) {
+    if (s->version() == version) return s;
+  }
+  return nullptr;
+}
+
+std::uint64_t DynamicGraph::version() const {
+  std::lock_guard lk(mu_);
+  return head_->version();
+}
+
+std::uint64_t DynamicGraph::triangles() const {
+  std::lock_guard lk(mu_);
+  return head_->triangles();
+}
+
+}  // namespace tcgpu::stream

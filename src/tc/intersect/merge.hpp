@@ -188,4 +188,33 @@ std::uint64_t merge_count_probed(std::uint32_t na, std::uint32_t nb,
   return local;
 }
 
+/// merge_count_probed's emit form: reports every match to
+/// `on_match(value, i, j)` instead of only counting. The stream layer's
+/// wedge-delta kernel composes this — delta maintenance needs the surviving
+/// common neighbors themselves, not just their number, to credit per-edge
+/// support. Probes own the metered accesses, so sites stay attributed to
+/// the composing kernel. Returns the match count.
+template <class ProbeA, class ProbeB, class OnMatch>
+std::uint64_t merge_collect_probed(std::uint32_t na, std::uint32_t nb,
+                                   ProbeA&& probe_a, ProbeB&& probe_b,
+                                   OnMatch&& on_match) {
+  std::uint64_t local = 0;
+  std::uint32_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const std::uint32_t x = probe_a(i);
+    const std::uint32_t y = probe_b(j);
+    if (x == y) {
+      on_match(x, i, j);
+      ++local;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return local;
+}
+
 }  // namespace tcgpu::tc::intersect

@@ -9,6 +9,9 @@
 // all three of its edges with plain atomics.
 #pragma once
 
+#include <vector>
+
+#include "graph/csr.hpp"
 #include "tc/common.hpp"
 
 namespace tcgpu::tc {
@@ -25,5 +28,11 @@ SupportResult count_edge_support(simt::Device& dev, const simt::GpuSpec& spec,
                                  const DeviceGraph& g,
                                  simt::DeviceBuffer<std::uint32_t>& support,
                                  std::uint32_t block = 256);
+
+/// Host-side reference: support[e] in the DAG's CSR edge order, by plain
+/// forward-algorithm row intersections. The streaming layer seeds its
+/// per-edge support store from this, and the churn equivalence tests
+/// recount with it at every version.
+std::vector<std::uint32_t> cpu_edge_support(const graph::Csr& dag);
 
 }  // namespace tcgpu::tc

@@ -195,5 +195,32 @@ TEST_F(OptionsTest, ParsesServeFlags) {
   EXPECT_TRUE(def.algos.empty());
 }
 
+TEST_F(OptionsTest, ParsesStreamFlags) {
+  const auto opt =
+      parse({"--mutations=4096", "--stream-batch=1,16,128", "--snapshots=8"});
+  EXPECT_EQ(opt.mutations, 4096u);
+  ASSERT_EQ(opt.stream_batch.size(), 3u);
+  EXPECT_EQ(opt.stream_batch[0], 1u);
+  EXPECT_EQ(opt.stream_batch[1], 16u);
+  EXPECT_EQ(opt.stream_batch[2], 128u);
+  EXPECT_EQ(opt.snapshots, 8u);
+  // Defaults leave the bench shape to the binary.
+  const auto def = parse({});
+  EXPECT_EQ(def.mutations, 0u);
+  EXPECT_TRUE(def.stream_batch.empty());
+  EXPECT_EQ(def.snapshots, 0u);
+}
+
+TEST_F(OptionsTest, StreamFlagsOutOfRangeFailLoudly) {
+  EXPECT_THROW(parse({"--mutations=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--mutations=many"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--stream-batch="}), std::invalid_argument);
+  EXPECT_THROW(parse({"--stream-batch=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--stream-batch=16,1048577"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--stream-batch=16,x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--snapshots=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--snapshots=65"}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tcgpu::framework

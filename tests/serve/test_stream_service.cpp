@@ -1,0 +1,169 @@
+// Serve-layer streaming integration: mutations ride the same admission
+// queue as count queries, bump the dataset version, and invalidate every
+// stale layer (engine cache, pooled device image, selector refinement,
+// sticky picks). Count queries answer against the current snapshot.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tcgpu::serve {
+namespace {
+
+framework::Engine::Config small_engine() {
+  framework::Engine::Config cfg;
+  cfg.max_edges = 2'000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+QueryRequest count_query(std::string name) {
+  QueryRequest req;
+  req.dataset = std::move(name);
+  return req;
+}
+
+/// A mutation guaranteed to be effective: an edge between two fresh
+/// vertices (the graph grows, the version must bump).
+QueryRequest growing_mutation(framework::Engine& engine,
+                              const std::string& name) {
+  const auto v = engine.prepare(name)->stats.num_vertices;
+  QueryRequest req;
+  req.dataset = name;
+  req.insert_edges = {{v, v + 1}};
+  return req;
+}
+
+TEST(StreamService, MutationReplyCarriesVersionAndExactDelta) {
+  framework::Engine engine(small_engine());
+  QueryService service(engine);
+
+  const auto before = service.submit(count_query("As-Caida")).get();
+  ASSERT_EQ(before.status, QueryStatus::kOk);
+  EXPECT_EQ(before.version, 0u);
+
+  QueryRequest mutate;
+  mutate.dataset = "As-Caida";
+  mutate.insert_edges = {{1, 2}, {2, 3}, {1, 3}};
+  const auto delta = service.submit(std::move(mutate)).get();
+  ASSERT_EQ(delta.status, QueryStatus::kOk);
+  EXPECT_EQ(delta.algorithm, "stream-delta");
+  EXPECT_TRUE(delta.valid);
+  EXPECT_EQ(delta.triangles,
+            before.triangles + static_cast<std::uint64_t>(delta.delta_triangles));
+
+  // The post-mutation count runs a full kernel against the materialized
+  // snapshot and must agree with the maintained count.
+  const auto after = service.submit(count_query("As-Caida")).get();
+  ASSERT_EQ(after.status, QueryStatus::kOk);
+  EXPECT_TRUE(after.valid);
+  EXPECT_EQ(after.version, delta.version);
+  EXPECT_EQ(after.triangles, delta.triangles);
+
+  const auto c = service.counters();
+  EXPECT_EQ(c.mutations, 1u);
+  EXPECT_GE(c.stream_queries, 1u);
+}
+
+TEST(StreamService, NoOpMutationKeepsTheVersion) {
+  framework::Engine engine(small_engine());
+  QueryService service(engine);
+  QueryRequest mutate;
+  mutate.dataset = "As-Caida";
+  mutate.insert_edges = {{7, 7}};  // self-loop: normalized away
+  const auto reply = service.submit(std::move(mutate)).get();
+  ASSERT_EQ(reply.status, QueryStatus::kOk);
+  EXPECT_EQ(reply.version, 0u);
+  EXPECT_EQ(reply.delta_triangles, 0);
+  EXPECT_EQ(service.dataset_version("As-Caida"), 0u);
+}
+
+TEST(StreamService, VersionBumpInvalidatesEveryStaleLayer) {
+  framework::Engine engine(small_engine());
+  QueryService service(engine);
+
+  // Warmup: latches a v0 pick and folds one refinement observation.
+  ASSERT_EQ(service.submit(count_query("As-Caida")).get().status,
+            QueryStatus::kOk);
+  EXPECT_GE(service.selector().observations(), 1u);
+  EXPECT_EQ(engine.resident_graphs(), 1u);
+  auto table = service.decision_table();
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].first, "As-Caida");  // version-0 entries print bare
+
+  const auto mut =
+      service.submit(growing_mutation(engine, "As-Caida")).get();
+  ASSERT_EQ(mut.status, QueryStatus::kOk);
+  ASSERT_EQ(mut.version, 1u);
+  EXPECT_EQ(service.dataset_version("As-Caida"), 1u);
+
+  // The pre-mutation layers are all gone: cached prepares, refinement
+  // ratios for the old stats, and the v0 sticky pick.
+  EXPECT_EQ(engine.resident_graphs(), 0u);
+  EXPECT_EQ(service.selector().observations(), 0u);
+  EXPECT_TRUE(service.decision_table().empty());
+
+  // The next count re-scores and re-latches at v1.
+  const auto recount = service.submit(count_query("As-Caida")).get();
+  ASSERT_EQ(recount.status, QueryStatus::kOk);
+  EXPECT_EQ(recount.version, 1u);
+  EXPECT_TRUE(recount.valid);
+  table = service.decision_table();
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].first, "As-Caida@v1");
+  // Streamed answers never re-ran the prepare pipeline: the engine cache
+  // stayed empty (the snapshot is materialized service-side).
+  EXPECT_EQ(engine.resident_graphs(), 0u);
+}
+
+TEST(StreamService, MutationsRequireANamedDataset) {
+  framework::Engine engine(small_engine());
+  QueryService service(engine);
+  QueryRequest req;
+  req.name = "inline-mut";
+  req.edges.num_vertices = 4;
+  req.edges.edges = {{0, 1}, {1, 2}};
+  req.insert_edges = {{0, 2}};
+  const auto reply = service.submit(std::move(req)).get();
+  EXPECT_EQ(reply.status, QueryStatus::kInvalidRequest);
+  EXPECT_NE(reply.error.find("named dataset"), std::string::npos);
+
+  // Unknown datasets fail with the registry's error, like count queries.
+  QueryRequest unknown;
+  unknown.dataset = "No-Such-Graph";
+  unknown.insert_edges = {{0, 1}};
+  const auto bad = service.submit(std::move(unknown)).get();
+  EXPECT_EQ(bad.status, QueryStatus::kInvalidRequest);
+  EXPECT_NE(bad.error.find("No-Such-Graph"), std::string::npos);
+}
+
+TEST(StreamService, MixedBatchAppliesInSubmissionOrder) {
+  framework::Engine engine(small_engine());
+  QueryService::Config cfg;
+  cfg.workers = 1;  // one worker => same-key requests fuse into one batch
+  QueryService service(engine, cfg);
+
+  const auto v = engine.prepare("Wiki-Talk")->stats.num_vertices;
+  std::vector<std::future<QueryReply>> futures;
+  futures.push_back(service.submit(count_query("Wiki-Talk")));
+  QueryRequest grow;
+  grow.dataset = "Wiki-Talk";
+  grow.insert_edges = {{v, v + 1}};
+  futures.push_back(service.submit(std::move(grow)));
+  futures.push_back(service.submit(count_query("Wiki-Talk")));
+
+  std::vector<QueryReply> replies;
+  for (auto& f : futures) replies.push_back(f.get());
+  for (const auto& r : replies) ASSERT_EQ(r.status, QueryStatus::kOk);
+  // Replies resolve in submission order within the batch; the trailing
+  // count sees the mutation's version whenever they fused.
+  EXPECT_EQ(replies[1].algorithm, "stream-delta");
+  EXPECT_EQ(replies[2].version, replies[1].version);
+  EXPECT_EQ(replies[2].triangles, replies[1].triangles);
+  EXPECT_TRUE(replies[2].valid);
+}
+
+}  // namespace
+}  // namespace tcgpu::serve

@@ -413,5 +413,29 @@ TEST(IntersectMetering, PolicyStatsAreDeterministic) {
   EXPECT_EQ(b1.stats, b2.stats);
 }
 
+TEST(MergeCollect, MatchesSetIntersectionOnEveryShape) {
+  // merge_collect_probed is the stream delta kernel's workhorse: besides
+  // counting, it must surface every common value (and its positions in both
+  // operands) exactly once, in ascending order.
+  for (const auto& s : shapes()) {
+    std::vector<std::uint32_t> expected;
+    std::set_intersection(s.a.begin(), s.a.end(), s.b.begin(), s.b.end(),
+                          std::back_inserter(expected));
+    std::vector<std::uint32_t> values;
+    const auto count = merge_collect_probed(
+        static_cast<std::uint32_t>(s.a.size()),
+        static_cast<std::uint32_t>(s.b.size()),
+        [&](std::uint32_t i) { return s.a[i]; },
+        [&](std::uint32_t j) { return s.b[j]; },
+        [&](std::uint32_t value, std::uint32_t i, std::uint32_t j) {
+          EXPECT_EQ(s.a[i], value) << s.name;
+          EXPECT_EQ(s.b[j], value) << s.name;
+          values.push_back(value);
+        });
+    EXPECT_EQ(count, expected.size()) << s.name;
+    EXPECT_EQ(values, expected) << s.name;
+  }
+}
+
 }  // namespace
 }  // namespace tcgpu::tc::intersect
