@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   framework::Engine engine(opt);
   framework::ResultTable table({"dataset", "family", "paper_V", "paper_E",
                                 "paper_deg", "scale", "gen_V", "gen_E", "gen_deg",
-                                "triangles"});
+                                "triangles", "prepare_ms", "peak_rss_mb"});
   for (const auto& ds : gen::paper_datasets()) {
     const double scale = gen::dataset_scale(ds, opt.max_edges);
     const auto pg = engine.prepare(ds);
@@ -33,9 +33,13 @@ int main(int argc, char** argv) {
                    std::to_string(pg->stats.num_vertices),
                    std::to_string(pg->stats.num_undirected_edges),
                    framework::ResultTable::fmt(pg->stats.avg_degree, 1),
-                   std::to_string(pg->reference_triangles)});
+                   std::to_string(pg->reference_triangles),
+                   framework::ResultTable::fmt(pg->prepare_seconds * 1000.0, 2),
+                   framework::ResultTable::fmt(pg->peak_rss_mb, 1)});
   }
-  framework::emit(table, opt, std::cout,
+  const framework::CapacityReport capacity{framework::peak_rss_mb(),
+                                           engine.counters().bytes_uploaded};
+  framework::emit(table, opt, std::cout, capacity,
                   "Table II: datasets (paper targets vs generated stand-ins, "
                   "edge cap = " +
                       std::to_string(opt.max_edges) + ")");

@@ -101,7 +101,9 @@ int main(int argc, char** argv) {
               << clean.edges.size() << " edges (cleaned)\n";
     return 0;
   } catch (const std::exception& e) {
+    // One line naming the offending file/line (the io readers embed both),
+    // exit 2 — distinguishable from a round-trip mismatch (exit 1) in CI.
     std::cerr << e.what() << '\n';
-    return 1;
+    return 2;
   }
 }

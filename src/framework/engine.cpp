@@ -142,6 +142,7 @@ std::shared_ptr<Engine::Resident> Engine::acquire_resident(const GraphHandle& gr
     res->ready = true;
     std::lock_guard sl(stats_mu_);
     ++counters_.uploads;
+    counters_.bytes_uploaded += res->mark.bytes_allocated;
   } else {
     std::lock_guard sl(stats_mu_);
     ++counters_.upload_hits;

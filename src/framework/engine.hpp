@@ -61,6 +61,7 @@ struct EngineCounters {
   std::uint64_t upload_hits = 0;   ///< runs served by a resident DeviceGraph
   std::uint64_t cells = 0;         ///< algorithm runs completed
   std::uint64_t evictions = 0;     ///< cache entries dropped (cap or evict())
+  std::uint64_t bytes_uploaded = 0;  ///< device bytes across all pool uploads
 };
 
 /// One dataset of a sweep: the prepared graph and one outcome per algorithm

@@ -5,6 +5,8 @@
 #include "tc/bfsla.hpp"
 #include "tc/bisson.hpp"
 #include "tc/bsr.hpp"
+#include "tc/cmerge.hpp"
+#include "tc/cstage.hpp"
 #include "tc/fox.hpp"
 #include "tc/green.hpp"
 #include "tc/grouptc.hpp"
@@ -18,12 +20,15 @@
 
 namespace {
 
-/// The three kernels composed directly from tc/intersect/ policies.
+/// The kernels composed directly from tc/intersect/ policies: the three
+/// library kernels plus the two compressed-CSR decoders (varint.hpp).
 std::vector<tcgpu::framework::AlgorithmEntry> library_algorithms() {
   return {
       {"MergePath", [] { return std::make_unique<tcgpu::tc::MergePathCounter>(); }},
       {"BSR", [] { return std::make_unique<tcgpu::tc::BsrCounter>(); }},
       {"BFS-LA", [] { return std::make_unique<tcgpu::tc::BfsLaCounter>(); }},
+      {"CMerge", [] { return std::make_unique<tcgpu::tc::CMergeCounter>(); }},
+      {"CStage", [] { return std::make_unique<tcgpu::tc::CStageCounter>(); }},
   };
 }
 

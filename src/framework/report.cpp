@@ -26,4 +26,23 @@ void emit(const ResultTable& table, const BenchOptions& opt, std::ostream& os,
   }
 }
 
+void emit(const ResultTable& table, const BenchOptions& opt, std::ostream& os,
+          const CapacityReport& capacity, const std::string& title) {
+  emit(table, opt, os, title);
+  switch (output_format(opt)) {
+    case OutputFormat::kCsv:
+      os << "# capacity,peak_rss_mb=" << capacity.peak_rss_mb
+         << ",bytes_uploaded=" << capacity.bytes_uploaded << '\n';
+      break;
+    case OutputFormat::kJson:
+      os << "{\"capacity\":{\"peak_rss_mb\":" << capacity.peak_rss_mb
+         << ",\"bytes_uploaded\":" << capacity.bytes_uploaded << "}}\n";
+      break;
+    case OutputFormat::kAligned:
+      os << "capacity: peak_rss_mb=" << capacity.peak_rss_mb
+         << " bytes_uploaded=" << capacity.bytes_uploaded << '\n';
+      break;
+  }
+}
+
 }  // namespace tcgpu::framework

@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "framework/capacity.hpp"
 #include "framework/options.hpp"
 #include "framework/table.hpp"
 
@@ -21,5 +22,12 @@ OutputFormat output_format(const BenchOptions& opt);
 /// machine-readable formats (keeps CSV/JSON parseable).
 void emit(const ResultTable& table, const BenchOptions& opt, std::ostream& os,
           const std::string& title = {});
+
+/// emit() plus a capacity footer: aligned output gets a one-line summary,
+/// CSV a trailing "# capacity,..." comment (ignored by every CSV consumer
+/// in-tree), JSON a separate trailing object line — the table payload stays
+/// byte-identical to the footer-less overload in every format.
+void emit(const ResultTable& table, const BenchOptions& opt, std::ostream& os,
+          const CapacityReport& capacity, const std::string& title = {});
 
 }  // namespace tcgpu::framework

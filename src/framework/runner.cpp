@@ -2,29 +2,42 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
-#include "graph/builder.hpp"
+#include "framework/capacity.hpp"
+#include "graph/prepare.hpp"
 
 namespace tcgpu::framework {
 
-PreparedGraph prepare_graph(std::string name, const graph::Coo& raw,
+PreparedGraph prepare_graph(std::string name, graph::Coo&& raw,
                             graph::OrientationPolicy policy) {
   PreparedGraph pg;
   pg.name = std::move(name);
-  const graph::Coo clean = graph::clean_edges(raw);
-  const graph::Csr undirected = graph::build_undirected_csr(clean);
-  pg.stats = graph::compute_stats(undirected);
-  auto oriented = graph::orient(undirected, policy);
-  pg.dag = std::move(oriented.dag);
-  graph::fold_dag_stats(pg.dag, pg.stats);
-  pg.reference_triangles = graph::count_triangles_forward(pg.dag);
+  const bool rss_isolated = reset_peak_rss();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto prepared = graph::prepare_dag(std::move(raw), policy);
+  pg.stats = prepared.stats;
+  pg.dag = std::move(prepared.dag);
+  pg.reference_triangles = graph::count_triangles_forward_parallel(pg.dag);
+  const auto t1 = std::chrono::steady_clock::now();
+  pg.prepare_seconds = std::chrono::duration<double>(t1 - t0).count();
+  // Without watermark reset this reports the process high-water mark — an
+  // upper bound on the prepare, still a valid capacity ceiling.
+  pg.peak_rss_mb = peak_rss_mb();
+  (void)rss_isolated;
   return pg;
+}
+
+PreparedGraph prepare_graph(std::string name, const graph::Coo& raw,
+                            graph::OrientationPolicy policy) {
+  graph::Coo copy = raw;
+  return prepare_graph(std::move(name), std::move(copy), policy);
 }
 
 PreparedGraph prepare_dataset(const gen::DatasetSpec& spec, std::uint64_t max_edges,
                               std::uint64_t seed, graph::OrientationPolicy policy) {
-  const graph::Coo raw = gen::generate_dataset(spec, max_edges, seed);
-  return prepare_graph(spec.name, raw, policy);
+  graph::Coo raw = gen::generate_dataset(spec, max_edges, seed);
+  return prepare_graph(spec.name, std::move(raw), policy);
 }
 
 simt::GpuSpec spec_for(const std::string& gpu_name) {

@@ -20,6 +20,8 @@ struct PreparedGraph {
   graph::GraphStats stats;             ///< of the cleaned undirected graph
   graph::Csr dag;                      ///< oriented, relabeled (u < v)
   std::uint64_t reference_triangles = 0;  ///< CPU forward-algorithm count
+  double prepare_seconds = 0.0;        ///< clean+orient+reference wall time
+  double peak_rss_mb = 0.0;  ///< host peak RSS over the prepare (0 = unknown)
 };
 
 /// Generates (with the edge cap applied), cleans, orients and reference-counts
@@ -29,6 +31,12 @@ PreparedGraph prepare_dataset(
     graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree);
 
 /// Same pipeline for an arbitrary raw edge list (loader output, tests).
+/// The rvalue overload consumes the edge storage (graph::prepare_dag frees
+/// it mid-pipeline, which is what keeps billion-edge peak RSS at ~2 key
+/// arrays); the const& overload copies and delegates.
+PreparedGraph prepare_graph(
+    std::string name, graph::Coo&& raw,
+    graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree);
 PreparedGraph prepare_graph(
     std::string name, const graph::Coo& raw,
     graph::OrientationPolicy policy = graph::OrientationPolicy::kByDegree);

@@ -1,80 +1,26 @@
 #include "graph/builder.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include <utility>
 
+#include "graph/prepare.hpp"
+
+// The legacy serial clean/assemble loops lived here; they are now thin
+// wrappers over the parallel radix pipeline in graph/prepare.cpp, which
+// produces identical output (tests/graph/test_prepare.cpp pins the
+// equivalence against an independent std::set oracle).
 namespace tcgpu::graph {
 
 Coo clean_edges(const Coo& raw) {
-  std::vector<Edge> edges;
-  edges.reserve(raw.edges.size());
-  for (const auto& [u, v] : raw.edges) {
-    if (u == v) continue;  // self-loop
-    if (u >= raw.num_vertices || v >= raw.num_vertices) {
-      throw std::invalid_argument("clean_edges: vertex id out of range");
-    }
-    edges.emplace_back(std::min(u, v), std::max(u, v));
-  }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-
-  // Compact ids: keep only vertices that touch an edge.
-  std::vector<VertexId> remap(raw.num_vertices, kInvalidVertex);
-  VertexId next = 0;
-  for (const auto& [u, v] : edges) {
-    if (remap[u] == kInvalidVertex) remap[u] = 0;
-    if (remap[v] == kInvalidVertex) remap[v] = 0;
-  }
-  for (VertexId v = 0; v < raw.num_vertices; ++v) {
-    if (remap[v] != kInvalidVertex) remap[v] = next++;
-  }
-  for (auto& [u, v] : edges) {
-    u = remap[u];
-    v = remap[v];
-  }
-
-  Coo out;
-  out.num_vertices = next;
-  out.edges = std::move(edges);
-  return out;
+  Coo copy = raw;
+  return clean_edges_inplace(std::move(copy));
 }
-
-namespace {
-
-Csr csr_from_pairs(VertexId num_vertices, std::vector<Edge>& pairs) {
-  if (pairs.size() > 0xFFFFFFFFull) {
-    throw std::length_error("csr_from_pairs: edge count exceeds 32-bit index");
-  }
-  std::vector<EdgeIndex> row_ptr(static_cast<std::size_t>(num_vertices) + 1, 0);
-  for (const auto& [u, v] : pairs) {
-    (void)v;
-    row_ptr[u + 1]++;
-  }
-  for (std::size_t i = 1; i < row_ptr.size(); ++i) row_ptr[i] += row_ptr[i - 1];
-  std::vector<VertexId> col(pairs.size());
-  std::vector<EdgeIndex> cursor(row_ptr.begin(), row_ptr.end() - 1);
-  for (const auto& [u, v] : pairs) col[cursor[u]++] = v;
-  for (VertexId v = 0; v < num_vertices; ++v) {
-    std::sort(col.begin() + row_ptr[v], col.begin() + row_ptr[v + 1]);
-  }
-  return Csr(std::move(row_ptr), std::move(col));
-}
-
-}  // namespace
 
 Csr build_undirected_csr(const Coo& clean) {
-  std::vector<Edge> pairs;
-  pairs.reserve(clean.edges.size() * 2);
-  for (const auto& [u, v] : clean.edges) {
-    pairs.emplace_back(u, v);
-    pairs.emplace_back(v, u);
-  }
-  return csr_from_pairs(clean.num_vertices, pairs);
+  return build_undirected_csr_parallel(clean);
 }
 
 Csr build_directed_csr(VertexId num_vertices, const std::vector<Edge>& edges) {
-  std::vector<Edge> pairs(edges);
-  return csr_from_pairs(num_vertices, pairs);
+  return build_directed_csr_parallel(num_vertices, edges);
 }
 
 }  // namespace tcgpu::graph

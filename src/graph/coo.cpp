@@ -1,3 +1,13 @@
 #include "graph/coo.hpp"
 
-namespace tcgpu::graph {}
+namespace tcgpu::graph {
+
+// Raw (pre-dedup) edge lists legitimately exceed 2^31 entries — billion-edge
+// inputs stream through here before the builders' explicit 32-bit checks
+// fire — so every raw edge count must flow through the 64-bit EdgeCount.
+// Guard the container's own indexing: a 32-bit size_t platform would
+// silently truncate `edges.size()` long before those checks run.
+static_assert(sizeof(std::size_t) >= sizeof(EdgeCount),
+              "Coo indexing must be 64-bit; raw edge lists exceed 2^31 edges");
+
+}  // namespace tcgpu::graph

@@ -22,4 +22,60 @@ bool Csr::has_edge(VertexId v, VertexId w) const {
   return std::binary_search(n.begin(), n.end(), w);
 }
 
+CompressedCsr CompressedCsr::compress(const Csr& csr) {
+  CompressedCsr c;
+  const VertexId n = csr.num_vertices();
+  c.row_ptr_ = csr.row_ptr();
+  c.base_.assign(n, 0);
+  c.offset_.assign(n + 1, 0);
+  c.data_.clear();
+  // Conservative reserve: gaps of social rows mostly fit one byte.
+  c.data_.reserve(csr.col().size());
+  for (VertexId v = 0; v < n; ++v) {
+    const auto row = csr.neighbors(v);
+    if (!row.empty()) {
+      c.base_[v] = row.front();
+      for (std::size_t k = 1; k < row.size(); ++k) {
+        if (row[k] <= row[k - 1]) {
+          throw std::invalid_argument(
+              "CompressedCsr: rows must be strictly ascending");
+        }
+        varint_append(c.data_, row[k] - row[k - 1] - 1);
+      }
+    }
+    if (c.data_.size() > 0xFFFFFFFFull) {
+      throw std::length_error(
+          "CompressedCsr: delta stream exceeds 32-bit byte offsets");
+    }
+    c.offset_[v + 1] = static_cast<std::uint32_t>(c.data_.size());
+  }
+  return c;
+}
+
+Csr CompressedCsr::decompress() const {
+  const VertexId n = num_vertices();
+  std::vector<VertexId> col;
+  col.reserve(row_ptr_.back());
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex deg = degree(v);
+    if (deg == 0) continue;
+    VertexId prev = base_[v];
+    col.push_back(prev);
+    std::uint32_t pos = offset_[v];
+    for (EdgeIndex k = 1; k < deg; ++k) {
+      std::uint32_t delta = 0;
+      int shift = 0;
+      std::uint8_t byte;
+      do {
+        byte = data_[pos++];
+        delta |= static_cast<std::uint32_t>(byte & 0x7Fu) << shift;
+        shift += 7;
+      } while (byte & 0x80u);
+      prev += delta + 1;
+      col.push_back(prev);
+    }
+  }
+  return Csr(row_ptr_, std::move(col));
+}
+
 }  // namespace tcgpu::graph

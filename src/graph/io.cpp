@@ -1,10 +1,25 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TCGPU_IO_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace tcgpu::graph {
 namespace {
@@ -41,31 +56,208 @@ T read_pod(std::ifstream& in, const std::string& path) {
 constexpr std::uint32_t kEdgeListMagic = 0x42474354;  // "TCGB"
 constexpr std::uint32_t kCsrMagic = 0x52534354;       // "TCSR"
 
+/// Read-only view of a whole file: mmap where the platform has it (the
+/// kernel pages the bytes in on demand, so peak RSS tracks the parser's
+/// working set, not the file size), a plain buffered read elsewhere.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+#ifdef TCGPU_IO_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) io_fail(path, "cannot open for reading");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      io_fail(path, "cannot open for reading");
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+      void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p == MAP_FAILED) {
+        ::close(fd);
+        io_fail(path, "cannot map file");
+      }
+      map_ = p;
+    }
+    ::close(fd);
+#else
+    auto in = open_in(path, std::ios::binary | std::ios::ate);
+    size_ = static_cast<std::size_t>(in.tellg());
+    fallback_.resize(size_);
+    in.seekg(0);
+    in.read(fallback_.data(), static_cast<std::streamsize>(size_));
+    if (!in && size_ > 0) io_fail(path, "cannot open for reading");
+#endif
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  ~MappedFile() {
+#ifdef TCGPU_IO_HAS_MMAP
+    if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  }
+
+  const char* data() const {
+#ifdef TCGPU_IO_HAS_MMAP
+    return static_cast<const char*>(map_);
+#else
+    return fallback_.data();
+#endif
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_ = 0;
+#ifdef TCGPU_IO_HAS_MMAP
+  void* map_ = nullptr;
+#else
+  std::vector<char> fallback_;
+#endif
+};
+
+/// First error a parser chunk hit; the merged report keeps the earliest
+/// line so the message matches what a serial scan would have said.
+struct ParseError {
+  std::uint64_t line = 0;
+  const char* what = nullptr;  // nullptr = no error
+};
+
+constexpr const char* kMalformedEdge = "malformed edge at line ";
+constexpr const char* kHugeVertexId = "vertex id exceeds 32 bits at line ";
+
+/// Parses one text line (already CR-stripped) as "u v [ignored...]".
+/// Returns false on a malformed line; out-of-range ids report through
+/// `err_huge`. Trailing fields are tolerated (weighted SNAP dumps).
+bool parse_edge_line(const char* p, const char* end, std::uint64_t& u,
+                     std::uint64_t& v, bool& huge) {
+  auto skip_ws = [&] {
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  };
+  auto number = [&](std::uint64_t& out) {
+    skip_ws();
+    if (p >= end || *p < '0' || *p > '9') return false;
+    std::uint64_t val = 0;
+    while (p < end && *p >= '0' && *p <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+      if (val > (0xFFFFFFFFFFFFFFFFull - digit) / 10) return false;
+      val = val * 10 + digit;
+      ++p;
+    }
+    // A number must end the field: "12x" is malformed, "12 " / "12\0" fine.
+    if (p < end && *p != ' ' && *p != '\t') return false;
+    out = val;
+    return true;
+  };
+  if (!number(u) || !number(v)) return false;
+  huge = u > 0xFFFFFFFFull || v > 0xFFFFFFFFull;
+  return true;
+}
+
 }  // namespace
 
 Coo read_text_edge_list(const std::string& path) {
-  auto in = open_in(path, std::ios::in);
-  Coo g;
-  VertexId max_id = 0;
-  bool any = false;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
-    std::uint64_t u = 0, v = 0;
-    if (!(ls >> u >> v)) {
-      io_fail(path, "malformed edge at line " + std::to_string(lineno));
-    }
-    if (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull) {
-      io_fail(path, "vertex id exceeds 32 bits at line " + std::to_string(lineno));
-    }
-    g.edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
-    max_id = std::max({max_id, static_cast<VertexId>(u), static_cast<VertexId>(v)});
-    any = true;
+  const MappedFile file(path);
+  const char* buf = file.data();
+  const std::size_t n = file.size();
+
+  // Chunk boundaries: even byte splits snapped forward to the next newline,
+  // so every line belongs to exactly one chunk.
+  int chunks = 1;
+#ifdef _OPENMP
+  chunks = static_cast<int>(std::clamp<std::size_t>(
+      std::min<std::size_t>(static_cast<std::size_t>(omp_get_max_threads()),
+                            n / (1u << 20)),
+      1, 256));
+#endif
+  std::vector<std::size_t> begin(chunks + 1, n);
+  begin[0] = 0;
+  for (int c = 1; c < chunks; ++c) {
+    std::size_t pos = n / chunks * static_cast<std::size_t>(c);
+    pos = std::max(pos, begin[c - 1]);
+    while (pos < n && buf[pos] != '\n') ++pos;
+    begin[c] = pos < n ? pos + 1 : n;
   }
-  g.num_vertices = any ? max_id + 1 : 0;
+
+  // Pass 1: line counts per chunk -> global line number bases.
+  std::vector<std::uint64_t> line_base(chunks + 1, 0);
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < chunks; ++c) {
+    std::uint64_t lines = 0;
+    for (std::size_t i = begin[c]; i < begin[c + 1]; ++i) {
+      lines += buf[i] == '\n';
+    }
+    // The last chunk may end with an unterminated final line.
+    if (c == chunks - 1 && begin[c + 1] > begin[c] &&
+        buf[begin[c + 1] - 1] != '\n') {
+      ++lines;
+    }
+    line_base[c + 1] = lines;
+  }
+  for (int c = 0; c < chunks; ++c) line_base[c + 1] += line_base[c];
+
+  // Pass 2: parse each chunk into its own edge vector.
+  std::vector<std::vector<Edge>> parts(chunks);
+  std::vector<VertexId> part_max(chunks, 0);
+  std::vector<ParseError> errors(chunks);
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < chunks; ++c) {
+    auto& out = parts[c];
+    VertexId max_id = 0;
+    std::uint64_t lineno = line_base[c];
+    std::size_t p = begin[c];
+    const std::size_t lim = begin[c + 1];
+    while (p < lim) {
+      std::size_t q = p;
+      while (q < lim && buf[q] != '\n') ++q;
+      std::size_t e = q;
+      if (e > p && buf[e - 1] == '\r') --e;  // CRLF dumps
+      ++lineno;
+      if (e > p && buf[p] != '#' && buf[p] != '%') {
+        std::uint64_t u = 0, v = 0;
+        bool huge = false;
+        if (!parse_edge_line(buf + p, buf + e, u, v, huge)) {
+          errors[c] = {lineno, kMalformedEdge};
+          break;
+        }
+        if (huge) {
+          errors[c] = {lineno, kHugeVertexId};
+          break;
+        }
+        out.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+        max_id = std::max({max_id, static_cast<VertexId>(u),
+                           static_cast<VertexId>(v)});
+      }
+      p = q + 1;
+    }
+    part_max[c] = max_id;
+  }
+
+  // Report the earliest failure, exactly as a serial scan would have.
+  const ParseError* first = nullptr;
+  for (const auto& e : errors) {
+    if (e.what != nullptr && (first == nullptr || e.line < first->line)) {
+      first = &e;
+    }
+  }
+  if (first != nullptr) {
+    io_fail(path, first->what + std::to_string(first->line));
+  }
+
+  Coo g;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  g.edges.resize(total);
+  std::vector<std::size_t> offset(chunks + 1, 0);
+  for (int c = 0; c < chunks; ++c) offset[c + 1] = offset[c] + parts[c].size();
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < chunks; ++c) {
+    std::copy(parts[c].begin(), parts[c].end(), g.edges.begin() + offset[c]);
+  }
+  VertexId max_id = 0;
+  for (int c = 0; c < chunks; ++c) max_id = std::max(max_id, part_max[c]);
+  g.num_vertices = total > 0 ? max_id + 1 : 0;
   return g;
 }
 
@@ -171,6 +363,120 @@ void write_matrix_market(const std::string& path, const Coo& g) {
   out << g.num_vertices << ' ' << g.num_vertices << ' ' << g.edges.size() << '\n';
   for (const auto& [u, v] : g.edges) out << (u + 1) << ' ' << (v + 1) << '\n';
   if (!out) io_fail(path, "write failed");
+}
+
+// --- streamed loading -------------------------------------------------------
+
+EdgeCount EdgeSource::skip(EdgeCount n) {
+  Edge buf[4096];
+  EdgeCount done = 0;
+  while (done < n) {
+    const auto want = static_cast<std::size_t>(
+        std::min<EdgeCount>(static_cast<EdgeCount>(std::size(buf)), n - done));
+    const std::size_t got = next(std::span<Edge>(buf, want));
+    if (got == 0) break;
+    done += static_cast<EdgeCount>(got);
+  }
+  return done;
+}
+
+struct BinaryEdgeListSource::Impl {
+  std::ifstream in;
+  std::string path;
+  VertexId num_vertices = 0;
+  EdgeCount total = 0;
+  EdgeCount consumed = 0;
+};
+
+BinaryEdgeListSource::BinaryEdgeListSource(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  impl_->in = open_in(path, std::ios::binary);
+  if (read_pod<std::uint32_t>(impl_->in, path) != kEdgeListMagic) {
+    io_fail(path, "not a TCGB binary edge list");
+  }
+  if (read_pod<std::uint32_t>(impl_->in, path) != 1) {
+    io_fail(path, "unsupported TCGB version");
+  }
+  impl_->num_vertices = read_pod<std::uint32_t>(impl_->in, path);
+  impl_->total =
+      static_cast<EdgeCount>(read_pod<std::uint64_t>(impl_->in, path));
+}
+
+BinaryEdgeListSource::~BinaryEdgeListSource() = default;
+
+VertexId BinaryEdgeListSource::num_vertices() const {
+  return impl_->num_vertices;
+}
+EdgeCount BinaryEdgeListSource::num_edges() const { return impl_->total; }
+
+std::size_t BinaryEdgeListSource::next(std::span<Edge> out) {
+  const auto left = impl_->total - impl_->consumed;
+  const auto want = static_cast<std::size_t>(
+      std::min<EdgeCount>(static_cast<EdgeCount>(out.size()), left));
+  if (want == 0) return 0;
+  impl_->in.read(reinterpret_cast<char*>(out.data()),
+                 static_cast<std::streamsize>(want * sizeof(Edge)));
+  if (!impl_->in) io_fail(impl_->path, "truncated edge data");
+  impl_->consumed += static_cast<EdgeCount>(want);
+  return want;
+}
+
+EdgeCount BinaryEdgeListSource::skip(EdgeCount n) {
+  const auto hop = std::min(n, impl_->total - impl_->consumed);
+  if (hop <= 0) return 0;
+  impl_->in.seekg(hop * static_cast<EdgeCount>(sizeof(Edge)), std::ios::cur);
+  if (!impl_->in) io_fail(impl_->path, "truncated edge data");
+  impl_->consumed += hop;
+  return hop;
+}
+
+StreamLoadResult load_edge_stream(EdgeSource& src, std::size_t max_edges,
+                                  std::uint64_t seed) {
+  StreamLoadResult r;
+  auto& edges = r.graph.edges;
+
+  // Fill phase: load verbatim until the cap (or the stream) runs out.
+  Edge buf[8192];
+  while (edges.size() < max_edges) {
+    const std::size_t want =
+        std::min(std::size(buf), max_edges - edges.size());
+    const std::size_t got = src.next(std::span<Edge>(buf, want));
+    if (got == 0) break;
+    edges.insert(edges.end(), buf, buf + got);
+    r.edges_seen += static_cast<EdgeCount>(got);
+  }
+
+  if (edges.size() == max_edges && max_edges > 0) {
+    // Reservoir phase — Vitter's Algorithm L: geometric gaps between
+    // replacements, jumped over via skip() so seekable sources never read
+    // the discarded range. Every surviving prefix is a uniform sample.
+    std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+    auto u01 = [&] {  // uniform in (0, 1): log() below must never see 0
+      return (static_cast<double>(rng() >> 11) + 0.5) * 0x1.0p-53;
+    };
+    const double k = static_cast<double>(max_edges);
+    double w = std::exp(std::log(u01()) / k);
+    while (true) {
+      const double gap = std::floor(std::log(u01()) / std::log1p(-w));
+      const auto hop = static_cast<EdgeCount>(
+          std::min(gap, 9.0e18));  // guard the double->int cast
+      const EdgeCount skipped = src.skip(hop);
+      r.edges_seen += skipped;
+      if (skipped < hop) break;  // stream ended inside the gap
+      Edge e;
+      if (src.next(std::span<Edge>(&e, 1)) == 0) break;
+      ++r.edges_seen;
+      r.downsampled = true;
+      edges[rng() % max_edges] = e;
+      w *= std::exp(std::log(u01()) / k);
+    }
+  }
+
+  VertexId max_id = 0;
+  for (const auto& [u, v] : edges) max_id = std::max({max_id, u, v});
+  r.graph.num_vertices = edges.empty() ? 0 : max_id + 1;
+  return r;
 }
 
 }  // namespace tcgpu::graph

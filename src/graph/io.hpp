@@ -2,9 +2,19 @@
 // formats the published implementations consume — SNAP-style text edge
 // lists, packed binary edge lists, binary CSR images, and MatrixMarket
 // coordinate files. All readers throw std::runtime_error with the offending
-// path/line on malformed input.
+// path/line on malformed input (line numbers are 64-bit: billion-edge lists
+// overflow a 32-bit counter long before they overflow the parser).
+//
+// The text reader memory-maps the file when the platform allows and parses
+// it in OMP-partitioned chunks split at newline boundaries — the loading
+// stage of the billion-edge prepare pipeline (graph/prepare.hpp). Inputs
+// too large to hold as an edge list stream through EdgeSource /
+// load_edge_stream, which reservoir-samples past the 2^31 boundary without
+// ever materializing the raw list.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <string>
 
 #include "graph/coo.hpp"
@@ -27,5 +37,62 @@ void write_binary_csr(const std::string& path, const Csr& g);
 // --- MatrixMarket coordinate (pattern, 1-based) -----------------------------
 Coo read_matrix_market(const std::string& path);
 void write_matrix_market(const std::string& path, const Coo& g);
+
+// --- streamed loading -------------------------------------------------------
+
+/// Pull stream of raw edges: files too large to materialize, generators,
+/// and the test suite's synthetic >2^31-edge sources all look the same to
+/// the loader. Implementations are single-consumer and forward-only.
+class EdgeSource {
+ public:
+  virtual ~EdgeSource() = default;
+
+  /// Fills `out` with up to out.size() edges; returns how many were
+  /// produced. 0 means the stream is exhausted (and stays exhausted).
+  virtual std::size_t next(std::span<Edge> out) = 0;
+
+  /// Discards up to `n` edges, returning how many were actually skipped
+  /// (< n only at end of stream). The default drains through next();
+  /// seekable sources override it to jump without touching the bytes —
+  /// what makes reservoir skips cheap on files.
+  virtual EdgeCount skip(EdgeCount n);
+};
+
+/// EdgeSource over a TCGB binary edge list, reading fixed-size chunks; skip
+/// is a file seek. The header's vertex count and 64-bit edge count are
+/// available up front.
+class BinaryEdgeListSource final : public EdgeSource {
+ public:
+  explicit BinaryEdgeListSource(const std::string& path);
+  ~BinaryEdgeListSource() override;
+
+  std::size_t next(std::span<Edge> out) override;
+  EdgeCount skip(EdgeCount n) override;
+
+  VertexId num_vertices() const;
+  EdgeCount num_edges() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// What load_edge_stream produced: the (possibly downsampled) edge list,
+/// plus the exact 64-bit count of edges the stream contained.
+struct StreamLoadResult {
+  Coo graph;
+  EdgeCount edges_seen = 0;  ///< total stream length, counting skipped edges
+  bool downsampled = false;  ///< true when edges_seen exceeded max_edges
+};
+
+/// Streams an arbitrarily long edge source into a Coo holding at most
+/// `max_edges` edges. Streams within the cap load verbatim (order
+/// preserved); longer streams are downsampled by uniform reservoir
+/// sampling (Vitter's Algorithm L — the geometric inter-sample gaps go
+/// through EdgeSource::skip, so seekable sources never read the skipped
+/// bytes). num_vertices covers the retained edges. Deterministic for a
+/// fixed (stream, max_edges, seed).
+StreamLoadResult load_edge_stream(EdgeSource& src, std::size_t max_edges,
+                                  std::uint64_t seed = 0);
 
 }  // namespace tcgpu::graph

@@ -4,22 +4,81 @@
 
 namespace tcgpu::graph {
 
-GraphStats compute_stats(const Csr& g) {
-  GraphStats s;
-  s.num_vertices = g.num_vertices();
-  s.num_undirected_edges = g.num_edges() / 2;
-  if (s.num_vertices == 0) return s;
+namespace {
 
-  std::vector<EdgeIndex> degrees(s.num_vertices);
-  for (VertexId v = 0; v < s.num_vertices; ++v) degrees[v] = g.degree(v);
-  std::sort(degrees.begin(), degrees.end());
-  s.max_degree = degrees.back();
-  s.median_degree = degrees[degrees.size() / 2];
-  s.p99_degree = degrees[static_cast<std::size_t>(
-      static_cast<double>(degrees.size() - 1) * 0.99)];
-  s.avg_degree =
-      static_cast<double>(g.num_edges()) / static_cast<double>(s.num_vertices);
+/// Largest degree with a nonzero histogram count (0 for an empty graph).
+EdgeIndex hist_max(const std::vector<std::uint64_t>& hist) {
+  for (std::size_t d = hist.size(); d-- > 0;) {
+    if (hist[d] != 0) return static_cast<EdgeIndex>(d);
+  }
+  return 0;
+}
+
+/// Value at `idx` of the (conceptual) ascending sorted degree array — the
+/// exact element a sort-then-index implementation would read, so the
+/// histogram and sorted-array stats paths agree bit for bit.
+EdgeIndex hist_quantile(const std::vector<std::uint64_t>& hist, std::uint64_t idx) {
+  std::uint64_t cum = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    cum += hist[d];
+    if (cum > idx) return static_cast<EdgeIndex>(d);
+  }
+  return hist_max(hist);
+}
+
+/// Index of the 99th percentile in an ascending array of `size` elements —
+/// shared so every stats path uses the same truncation.
+std::uint64_t p99_index(std::uint64_t size) {
+  return static_cast<std::uint64_t>(static_cast<double>(size - 1) * 0.99);
+}
+
+std::vector<std::uint64_t> histogram_of(const std::vector<EdgeIndex>& degrees) {
+  EdgeIndex max_d = 0;
+  for (const EdgeIndex d : degrees) max_d = std::max(max_d, d);
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_d) + 1, 0);
+  for (const EdgeIndex d : degrees) hist[d]++;
+  return hist;
+}
+
+}  // namespace
+
+GraphStats stats_from_degree_histogram(VertexId num_vertices,
+                                       std::uint64_t num_directed_edges,
+                                       const std::vector<std::uint64_t>& hist) {
+  GraphStats s;
+  s.num_vertices = num_vertices;
+  s.num_undirected_edges = num_directed_edges / 2;
+  if (num_vertices == 0) return s;
+  s.max_degree = hist_max(hist);
+  s.median_degree = hist_quantile(hist, num_vertices / 2);
+  s.p99_degree = hist_quantile(hist, p99_index(num_vertices));
+  s.avg_degree = static_cast<double>(num_directed_edges) /
+                 static_cast<double>(num_vertices);
   return s;
+}
+
+GraphStats compute_stats(const Csr& g) {
+  std::vector<EdgeIndex> degrees(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) degrees[v] = g.degree(v);
+  return stats_from_degree_histogram(g.num_vertices(), g.num_edges(),
+                                     histogram_of(degrees));
+}
+
+void fold_dag_stats_from_histogram(VertexId num_vertices,
+                                   std::uint64_t num_dag_edges,
+                                   std::uint64_t sum_out_degree_sq,
+                                   const std::vector<std::uint64_t>& out_hist,
+                                   GraphStats& s) {
+  const VertexId n = num_vertices;
+  if (n == 0) return;
+  s.max_out_degree = hist_max(out_hist);
+  s.p99_out_degree = hist_quantile(out_hist, p99_index(n));
+  s.avg_out_degree =
+      static_cast<double>(num_dag_edges) / static_cast<double>(n);
+  s.sum_out_degree_sq = sum_out_degree_sq;
+  s.out_degree_skew = s.avg_out_degree > 0.0
+                          ? static_cast<double>(s.max_out_degree) / s.avg_out_degree
+                          : 0.0;
 }
 
 void fold_dag_stats(const Csr& dag, GraphStats& s) {
@@ -32,15 +91,7 @@ void fold_dag_stats(const Csr& dag, GraphStats& s) {
     out[u] = d;
     sq += static_cast<std::uint64_t>(d) * d;
   }
-  std::sort(out.begin(), out.end());
-  s.max_out_degree = out.back();
-  s.p99_out_degree = out[static_cast<std::size_t>(
-      static_cast<double>(out.size() - 1) * 0.99)];
-  s.avg_out_degree = static_cast<double>(dag.num_edges()) / static_cast<double>(n);
-  s.sum_out_degree_sq = sq;
-  s.out_degree_skew = s.avg_out_degree > 0.0
-                          ? static_cast<double>(s.max_out_degree) / s.avg_out_degree
-                          : 0.0;
+  fold_dag_stats_from_histogram(n, dag.num_edges(), sq, histogram_of(out), s);
 }
 
 std::vector<std::uint64_t> degree_histogram(const Csr& g) {

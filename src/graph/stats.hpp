@@ -31,10 +31,28 @@ struct GraphStats {
 /// Stats of a simple undirected graph (symmetric CSR).
 GraphStats compute_stats(const Csr& undirected);
 
+/// compute_stats without materializing a CSR: the same quantities from a
+/// degree histogram (hist[d] = vertices of degree d) and the *directed*
+/// edge count (2E for a symmetric graph). Percentiles read the exact
+/// element a sort-then-index implementation would, so the parallel prepare
+/// pipeline produces bit-identical stats (serve::Selector keys graphs by
+/// these fields — any drift would silently fork its refinement state).
+GraphStats stats_from_degree_histogram(VertexId num_vertices,
+                                       std::uint64_t num_directed_edges,
+                                       const std::vector<std::uint64_t>& hist);
+
 /// Folds the oriented DAG's out-degree quantities into `s` (the undirected
 /// fields are left untouched). The framework runner calls this after
 /// orientation so every PreparedGraph carries the work/imbalance drivers.
 void fold_dag_stats(const Csr& dag, GraphStats& s);
+
+/// fold_dag_stats from precomputed aggregates (out-degree histogram, DAG
+/// edge count, Σ d_out²) — the histogram twin used by graph::prepare.
+void fold_dag_stats_from_histogram(VertexId num_vertices,
+                                   std::uint64_t num_dag_edges,
+                                   std::uint64_t sum_out_degree_sq,
+                                   const std::vector<std::uint64_t>& out_hist,
+                                   GraphStats& s);
 
 /// Degree histogram: hist[d] = number of vertices with degree d.
 std::vector<std::uint64_t> degree_histogram(const Csr& undirected);

@@ -15,6 +15,15 @@ using VertexId = std::uint32_t;
 using EdgeIndex = std::uint32_t;
 using Edge = std::pair<VertexId, VertexId>;
 
+/// Host-side edge *counts* (raw edge lists, streamed inputs, loader
+/// positions). These routinely exceed 2^31 before dedup/downsampling —
+/// Com-Friendster is 1.8 B edges — so anything that counts or indexes raw
+/// edges uses this 64-bit type. Device-resident indices (EdgeIndex) stay
+/// 32-bit: a *cleaned, oriented* graph must still fit the kernels' u32
+/// arrays, and the builders enforce that boundary explicitly.
+using EdgeCount = std::int64_t;
+static_assert(sizeof(EdgeCount) == 8, "raw edge counts must be 64-bit");
+
 constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
 
 }  // namespace tcgpu::graph

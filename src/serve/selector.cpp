@@ -41,7 +41,7 @@ const char* to_string(Hint h) {
 std::vector<AlgoModel> Selector::default_models() {
   using W = AlgoModel::Work;
   // Pool order: framework::pool_algorithms() — the paper's nine (Table I
-  // order) followed by the three tc/intersect/ library kernels.
+  // order) followed by the five tc/intersect/ library kernels.
   // (work_exponent, imb_exponent, hash_load, calibration) are fit against
   // the simulator's measured kernel times on the 19-dataset suite at the
   // default edge cap — bench/selector_fit reports the residuals and
@@ -62,6 +62,14 @@ std::vector<AlgoModel> Selector::default_models() {
       {"MergePath", W::kMergePath, 1, 0.800, 0.0, 0.0, 18.62, false},
       {"BSR", W::kBlockedBitmap, 1, 0.650, 0.1, 0.0, 361.81, false},
       {"BFS-LA", W::kLinearAlgebra, 1, 0.500, -0.2, 0.0, 7176.9, false},
+      // The compressed-CSR decoders trade bandwidth for ALU decode work;
+      // on graphs whose raw image fits the device they lose to their raw
+      // counterparts by design (the calibrations encode the decode + serial
+      // penalty), and the serving layer only routes to them when the raw
+      // image exceeds the device budget — a capacity decision made before
+      // scoring, not a latency win the model could discover.
+      {"CMerge", W::kCompressedMerge, 1, 0.800, 0.8, 0.0, 290.0, false},
+      {"CStage", W::kCompressedStage, 1, 0.800, 0.3, 0.0, 410.0, false},
   };
   return models;
 }
@@ -128,6 +136,21 @@ double Selector::raw_model_ms(const AlgoModel& m, const graph::GraphStats& stats
       // Hu's shared-cache staging).
       work = s2 + edges * davg;
       break;
+    case AlgoModel::Work::kCompressedMerge:
+    case AlgoModel::Work::kCompressedStage: {
+      // Merge work over varint streams: the anchor row is re-decoded per
+      // partner (CMerge) or staged once (CStage) — either way the work
+      // shape stays merge-family. The mem factor is the decode surcharge:
+      // the average gap in a sorted row is ~V/d_avg, so each neighbor costs
+      // ceil(log2(gap)/7) stream bytes and one ALU op per byte on top of
+      // the comparison. Bandwidth drops ~4x, which matters only when the
+      // raw image doesn't fit — the simulated latency model sees just the
+      // extra compute.
+      work = s2 + edges * davg;
+      const double gap_bits = log2_safe(n / std::max(1.0, davg));
+      mem = 1.0 + std::ceil(gap_bits / 7.0) / 4.0;
+      break;
+    }
   }
 
   // Warp workload imbalance: skew in the out-degree distribution stalls

@@ -87,6 +87,13 @@ struct Candidate {
 ///                     effective list length shrinks as density grows
 ///   kLinearAlgebra  — masked row-times-row products with a staged shared
 ///                     cache, Hu-shaped but edge-dominated
+///   kCompressedMerge — merge over varint delta streams: merge work plus an
+///                     ALU decode surcharge that grows with the gap width
+///                     (≈ log(V / d_avg) bits per neighbor), serial per
+///                     thread, so skew bites hard
+///   kCompressedStage — the staged variant: anchor row decoded once into
+///                     shared by a single lane, partner streams decoded on
+///                     the fly; same decode surcharge, milder imbalance
 struct AlgoModel {
   std::string name;
   enum class Work {
@@ -97,6 +104,8 @@ struct AlgoModel {
     kMergePath,
     kBlockedBitmap,
     kLinearAlgebra,
+    kCompressedMerge,
+    kCompressedStage,
   } work;
   double launches = 1.0;       ///< kernel launches per run (fixed cost)
   double work_exponent = 1.0;  ///< alpha: sub-linear work scaling
@@ -115,7 +124,7 @@ class Selector {
     bool refine = true;  ///< fold measured KernelStats into calibration
   };
 
-  /// Scores the twelve-kernel selection pool (default_models()).
+  /// Scores the fourteen-kernel selection pool (default_models()).
   Selector() : Selector(Config{}) {}
   explicit Selector(Config cfg);
   /// Custom universe (tests, restricted deployments).
@@ -156,7 +165,7 @@ class Selector {
   const std::vector<AlgoModel>& models() const { return models_; }
   const Config& config() const { return cfg_; }
 
-  /// The selection pool — the paper's nine algorithms plus the three
+  /// The selection pool — the paper's nine algorithms plus the five
   /// tc/intersect/ library kernels (framework::pool_algorithms()) — with
   /// the fitted v100 calibration table.
   static std::vector<AlgoModel> default_models();

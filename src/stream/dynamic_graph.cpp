@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "graph/prepare.hpp"
 #include "stream/delta_kernel.hpp"
 #include "tc/support.hpp"
 
@@ -70,16 +71,15 @@ std::vector<std::uint64_t> hist_of(const std::vector<graph::EdgeIndex>& deg) {
 DynamicGraph::DynamicGraph(const graph::Csr& dag, Config cfg)
     : cfg_(std::move(cfg)) {
   const graph::VertexId V = dag.num_vertices();
-  std::vector<std::vector<graph::VertexId>> in_lists(V);
-  for (graph::VertexId u = 0; u < V; ++u) {
-    const auto row = dag.neighbors(u);
-    for (std::size_t k = 0; k < row.size(); ++k) {
-      if (row[k] <= u || (k > 0 && row[k] <= row[k - 1])) {
-        throw std::invalid_argument(
-            "DynamicGraph: DAG must be id-oriented (u < v) with sorted rows");
-      }
-      in_lists[row[k]].push_back(u);  // u ascends, so in-lists stay sorted
-    }
+  // symmetrize_dag validates the id-orientation contract and hands back each
+  // row as in-neighbors (< v) then out-neighbors (> v), ascending — exactly
+  // the segment layout, so the seed is a row copy instead of a transpose.
+  graph::Csr undirected;
+  try {
+    undirected = graph::symmetrize_dag(dag);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(
+        "DynamicGraph: DAG must be id-oriented (u < v) with sorted rows");
   }
 
   const auto sup = tc::cpu_edge_support(dag);
@@ -102,14 +102,11 @@ DynamicGraph::DynamicGraph(const graph::Csr& dag, Config cfg)
       const std::uint64_t id = (s << Snapshot::kSegmentShift) + local;
       if (id < V) {
         const auto v = static_cast<graph::VertexId>(id);
-        for (const graph::VertexId w : in_lists[v]) {
+        const auto row = undirected.neighbors(v);
+        std::size_t out_k = 0;  // support lives in the DAG-direction slots
+        for (const graph::VertexId w : row) {
           seg->adj.push_back(w);
-          seg->sup.push_back(0);
-        }
-        const auto out = dag.neighbors(v);
-        for (std::size_t k = 0; k < out.size(); ++k) {
-          seg->adj.push_back(out[k]);
-          seg->sup.push_back(sup[dag.row_ptr()[v] + k]);
+          seg->sup.push_back(w > v ? sup[dag.row_ptr()[v] + out_k++] : 0);
         }
       }
       seg->off[local + 1] = static_cast<graph::EdgeIndex>(seg->adj.size());
@@ -121,7 +118,7 @@ DynamicGraph::DynamicGraph(const graph::Csr& dag, Config cfg)
   out_degree_.assign(V, 0);
   for (graph::VertexId v = 0; v < V; ++v) {
     out_degree_[v] = dag.degree(v);
-    degree_[v] = dag.degree(v) + static_cast<graph::EdgeIndex>(in_lists[v].size());
+    degree_[v] = undirected.degree(v);
     sum_out_sq_ += static_cast<std::uint64_t>(out_degree_[v]) * out_degree_[v];
   }
   deg_hist_ = hist_of(degree_);

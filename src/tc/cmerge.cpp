@@ -1,0 +1,63 @@
+#include "tc/cmerge.hpp"
+
+#include "tc/intersect/varint.hpp"
+
+namespace tcgpu::tc {
+
+AlgoResult CMergeCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "cmerge_count");
+
+  intersect::StagedCompressed staged;
+  intersect::CompressedView cv;
+  if (g.has_compressed) {
+    cv = {&g.cbase, &g.coff, &g.cdata};
+  } else {
+    staged = intersect::stage_compressed(dev, g);
+    cv = {&staged.base, &staged.off, &staged.data};
+  }
+
+  const std::uint64_t items = g.vertex_items();
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = 1;
+  cfg.grid = pick_grid(spec, items, 1, cfg.block);
+
+  auto stats = simt::launch_items<simt::NoState>(
+      spec, cfg, items,
+      [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+        const std::uint32_t u =
+            g.use_anchor_list ? ctx.load(g.anchors, item, TCGPU_SITE())
+                              : static_cast<std::uint32_t>(item);
+        const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+        const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+        const std::uint32_t du = ue - ub;
+        if (du < 2) return;
+        const std::uint32_t ubase = ctx.load(*cv.base, u, TCGPU_SITE());
+        const std::uint32_t ulo = ctx.load(*cv.off, u, TCGPU_SITE());
+
+        std::uint64_t local = 0;
+        intersect::VarintCursor outer(ubase, ulo, du);
+        while (!outer.done()) {
+          const std::uint32_t v = outer.next(ctx, *cv.data);
+          const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+          const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
+          const std::uint32_t dv = ve - vb;
+          if (dv == 0) continue;
+          const std::uint32_t vbase = ctx.load(*cv.base, v, TCGPU_SITE());
+          const std::uint32_t vlo = ctx.load(*cv.off, v, TCGPU_SITE());
+          local += intersect::merge_cursor_cursor(
+              ctx, intersect::VarintCursor(ubase, ulo, du), *cv.data,
+              intersect::VarintCursor(vbase, vlo, dv), *cv.data);
+        }
+        flush_count(ctx, counter, local);
+      });
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("cmerge_thread", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

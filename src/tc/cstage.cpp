@@ -1,0 +1,110 @@
+#include "tc/cstage.hpp"
+
+#include <algorithm>
+
+#include "tc/intersect/varint.hpp"
+
+namespace tcgpu::tc {
+
+AlgoResult CStageCounter::count(simt::Device& dev, const simt::GpuSpec& spec,
+                                const DeviceGraph& g) const {
+  auto counter = dev.alloc<std::uint64_t>(1, "cstage_count");
+
+  intersect::StagedCompressed sc;
+  intersect::CompressedView cv;
+  if (g.has_compressed) {
+    cv = {&g.cbase, &g.coff, &g.cdata};
+  } else {
+    sc = intersect::stage_compressed(dev, g);
+    cv = {&sc.base, &sc.off, &sc.data};
+  }
+
+  const std::uint64_t items = g.vertex_items();
+
+  simt::LaunchConfig cfg;
+  cfg.block = cfg_.block;
+  cfg.group_size = cfg_.block;
+  cfg.grid = pick_grid(spec, items, cfg.block, cfg.block);
+
+  const std::uint32_t cache_cap = std::min<std::uint32_t>(
+      cfg_.cache_entries, spec.shared_mem_per_block / sizeof(std::uint32_t) - 64);
+
+  // Phase 1: thread 0 streams N+(u) into shared (decode is sequential, so
+  // one thread owns the whole pass — the imbalance the model's beta prices).
+  auto stage = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+    if (ctx.thread_in_block() != 0) return;
+    const std::uint32_t u = g.use_anchor_list
+                                ? ctx.load(g.anchors, item, TCGPU_SITE())
+                                : static_cast<std::uint32_t>(item);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+    const std::uint32_t du = ue - ub;
+    if (du == 0) return;
+    const std::uint32_t staged = std::min(du, cache_cap);
+    const std::uint32_t ubase = ctx.load(*cv.base, u, TCGPU_SITE());
+    const std::uint32_t ulo = ctx.load(*cv.off, u, TCGPU_SITE());
+    auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
+    intersect::VarintCursor cur(ubase, ulo, du);
+    for (std::uint32_t i = 0; i < staged; ++i) {
+      ctx.shared_store(cache, i, cur.next(ctx, *cv.data), TCGPU_SITE());
+    }
+  };
+
+  // Phase 2: thread k handles staged neighbor k (+ block strides); thread 0
+  // additionally walks the un-staged tail of N+(u) whole.
+  auto product = [&](simt::ThreadCtx& ctx, simt::NoState&, std::uint64_t item) {
+    const std::uint32_t u = g.use_anchor_list
+                                ? ctx.load(g.anchors, item, TCGPU_SITE())
+                                : static_cast<std::uint32_t>(item);
+    const std::uint32_t ub = ctx.load(g.row_ptr, u, TCGPU_SITE());
+    const std::uint32_t ue = ctx.load(g.row_ptr, u + 1, TCGPU_SITE());
+    const std::uint32_t du = ue - ub;
+    if (du < 2) return;
+    const std::uint32_t staged = std::min(du, cache_cap);
+    const std::uint32_t ubase = ctx.load(*cv.base, u, TCGPU_SITE());
+    const std::uint32_t ulo = ctx.load(*cv.off, u, TCGPU_SITE());
+    auto cache = ctx.shared_array_tagged<std::uint32_t>(0, cache_cap);
+
+    std::uint64_t local = 0;
+    auto count_against_anchor = [&](std::uint32_t v) {
+      const std::uint32_t vb = ctx.load(g.row_ptr, v, TCGPU_SITE());
+      const std::uint32_t ve = ctx.load(g.row_ptr, v + 1, TCGPU_SITE());
+      const std::uint32_t dv = ve - vb;
+      if (dv == 0) return;
+      const std::uint32_t vbase = ctx.load(*cv.base, v, TCGPU_SITE());
+      const std::uint32_t vlo = ctx.load(*cv.off, v, TCGPU_SITE());
+      local += intersect::merge_cursor_probed(
+          ctx, intersect::VarintCursor(vbase, vlo, dv), *cv.data, staged,
+          [&](std::uint32_t j) { return ctx.shared_load(cache, j, TCGPU_SITE()); });
+      if (du > staged) {
+        // Matches against the un-staged suffix of the anchor row: re-merge
+        // both streams, crediting only anchor positions >= staged.
+        local += intersect::merge_cursor_cursor(
+            ctx, intersect::VarintCursor(ubase, ulo, du), *cv.data,
+            intersect::VarintCursor(vbase, vlo, dv), *cv.data, staged);
+      }
+    };
+
+    for (std::uint32_t k = ctx.thread_in_block(); k < staged;
+         k += ctx.block_dim()) {
+      count_against_anchor(ctx.shared_load(cache, k, TCGPU_SITE()));
+    }
+    if (ctx.thread_in_block() == 0 && du > staged) {
+      // Tail neighbors never reached shared memory: resume a decode past the
+      // staged prefix and process each whole (dual-cursor, from position 0).
+      intersect::VarintCursor cur(ubase, ulo, du);
+      for (std::uint32_t i = 0; i < staged; ++i) cur.next(ctx, *cv.data);
+      while (!cur.done()) count_against_anchor(cur.next(ctx, *cv.data));
+    }
+    flush_count(ctx, counter, local);
+  };
+
+  auto stats = simt::launch_items<simt::NoState>(spec, cfg, items, stage, product);
+
+  AlgoResult r;
+  r.triangles = counter.host_span()[0];
+  r.add_launch("cstage_block", stats);
+  return r;
+}
+
+}  // namespace tcgpu::tc

@@ -40,6 +40,32 @@ DeviceGraph DeviceGraph::upload(simt::Device& dev, const graph::Csr& dag) {
   return g;
 }
 
+DeviceGraph DeviceGraph::upload_compressed(simt::Device& dev,
+                                           const graph::CompressedCsr& cc) {
+  DeviceGraph g;
+  g.num_vertices = cc.num_vertices();
+  g.num_edges = cc.num_edges();
+  g.row_ptr = dev.alloc<std::uint32_t>(cc.row_ptr().size(), "row_ptr");
+  std::copy(cc.row_ptr().begin(), cc.row_ptr().end(), g.row_ptr.host_data());
+  g.cbase = dev.alloc<std::uint32_t>(std::max<std::size_t>(1, cc.base().size()),
+                                     "cbase");
+  std::copy(cc.base().begin(), cc.base().end(), g.cbase.host_data());
+  g.coff = dev.alloc<std::uint32_t>(cc.offset().size(), "coff");
+  std::copy(cc.offset().begin(), cc.offset().end(), g.coff.host_data());
+  const std::size_t words = (cc.data().size() + 3) / 4;
+  g.cdata = dev.alloc<std::uint32_t>(std::max<std::size_t>(1, words), "cdata");
+  for (std::size_t i = 0; i < cc.data().size(); ++i) {
+    g.cdata.host_data()[i >> 2] |= static_cast<std::uint32_t>(cc.data()[i])
+                                   << ((i & 3) * 8);
+  }
+  g.compressed_bytes = cc.data().size();
+  g.has_compressed = true;
+  for (graph::VertexId u = 0; u < g.num_vertices; ++u) {
+    g.max_out_degree = std::max(g.max_out_degree, cc.degree(u));
+  }
+  return g;
+}
+
 DeviceGraph DeviceGraph::upload_shard(simt::Device& dev, const graph::Csr& csr,
                                       std::span<const std::uint32_t> edge_u,
                                       std::span<const std::uint32_t> edge_v,

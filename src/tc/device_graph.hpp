@@ -37,6 +37,17 @@ struct DeviceGraph {
   std::uint32_t num_anchors = 0;
   bool use_anchor_list = false;
 
+  /// Compressed images only (upload_compressed): per-row (base, varint
+  /// delta-stream) adjacency. cdata packs the byte stream little-endian,
+  /// four bytes per u32 word, so decode costs ~bytes/4 word loads instead
+  /// of one load per neighbor. col/edge_u/edge_v stay empty — only the
+  /// on-the-fly-decoding kernels (CMerge, CStage) can run such an image.
+  simt::DeviceBuffer<std::uint32_t> cbase;  ///< size V: first neighbor
+  simt::DeviceBuffer<std::uint32_t> coff;   ///< size V+1: byte offsets
+  simt::DeviceBuffer<std::uint32_t> cdata;  ///< packed varint bytes
+  std::uint64_t compressed_bytes = 0;       ///< delta-stream length
+  bool has_compressed = false;
+
   /// Work-list size for vertex-iterator kernels.
   std::uint64_t vertex_items() const {
     return use_anchor_list ? num_anchors : num_vertices;
@@ -44,6 +55,13 @@ struct DeviceGraph {
 
   /// Uploads an oriented DAG (u < v for every edge; see graph::orient).
   static DeviceGraph upload(simt::Device& dev, const graph::Csr& dag);
+
+  /// Uploads the compressed adjacency image instead: row_ptr plus
+  /// cbase/coff/cdata, no col and no edge list. Uses ~(V·8 + E·1.5) bytes
+  /// against upload()'s V·4 + E·12 — the capacity path for graphs whose raw
+  /// image exceeds the device budget. Vertex-iterator decoding kernels only.
+  static DeviceGraph upload_compressed(simt::Device& dev,
+                                       const graph::CompressedCsr& cc);
 
   /// Uploads one multi-GPU shard: `csr` carries full adjacency rows for every
   /// vertex the shard must read (owned + ghost/proxy, global vertex ids;

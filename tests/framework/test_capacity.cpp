@@ -1,0 +1,86 @@
+// Capacity instrumentation (framework/capacity.hpp): RSS readings on the
+// platforms that expose them, prepare timing/footprint fields on
+// PreparedGraph, and the capacity footer of the emit() overload in every
+// output format.
+#include "framework/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "framework/report.hpp"
+#include "framework/runner.hpp"
+#include "gen/er.hpp"
+
+namespace tcgpu::framework {
+namespace {
+
+TEST(Capacity, PeakAndCurrentRssArePlausibleOnLinux) {
+#if defined(__linux__)
+  const double cur = current_rss_mb();
+  const double peak = peak_rss_mb();
+  EXPECT_GT(cur, 0.0);
+  EXPECT_GT(peak, 0.0);
+  EXPECT_GE(peak + 0.5, cur);  // watermark can't sit below current (slack
+                               // for a racing allocation between reads)
+#else
+  EXPECT_EQ(current_rss_mb(), 0.0);
+  EXPECT_EQ(peak_rss_mb(), 0.0);
+#endif
+}
+
+TEST(Capacity, ResetIsolatesAStageWhenSupported) {
+  if (!reset_peak_rss()) GTEST_SKIP() << "clear_refs not writable here";
+  // Touch ~8 MiB; the post-reset watermark must register a growth of at
+  // least a few MiB over the post-reset floor.
+  const double floor_mb = peak_rss_mb();
+  std::vector<char> block(8u << 20, 1);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = 2;
+  const double after = peak_rss_mb();
+  EXPECT_GE(after - floor_mb, 4.0);
+}
+
+TEST(Capacity, PreparedGraphCarriesPrepareCost) {
+  const graph::Coo raw = gen::generate_er(300, 2'000, 5);
+  const PreparedGraph pg = prepare_graph("er", raw);
+  EXPECT_GT(pg.prepare_seconds, 0.0);
+#if defined(__linux__)
+  EXPECT_GT(pg.peak_rss_mb, 0.0);
+#endif
+}
+
+TEST(Capacity, MoveAndCopyPrepareProduceTheSameGraph) {
+  const graph::Coo raw = gen::generate_er(300, 2'000, 9);
+  graph::Coo consumed = raw;
+  const PreparedGraph a = prepare_graph("er", raw);
+  const PreparedGraph b = prepare_graph("er", std::move(consumed));
+  EXPECT_EQ(a.dag, b.dag);
+  EXPECT_EQ(a.reference_triangles, b.reference_triangles);
+}
+
+TEST(CapacityEmit, AppendsAFooterWithoutTouchingThePayload) {
+  ResultTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  const CapacityReport cap{12.5, 4096};
+
+  for (const auto& [flag_json, flag_csv] :
+       std::vector<std::pair<bool, bool>>{{false, false}, {false, true},
+                                          {true, false}}) {
+    BenchOptions opt;
+    opt.json = flag_json;
+    opt.csv = flag_csv;
+    std::ostringstream plain, with_cap;
+    emit(table, opt, plain, "t");
+    emit(table, opt, with_cap, cap, "t");
+    // The footer-less render must be a strict prefix: the table payload is
+    // byte-identical and the capacity line only appends.
+    ASSERT_EQ(with_cap.str().rfind(plain.str(), 0), 0u);
+    const std::string footer = with_cap.str().substr(plain.str().size());
+    EXPECT_NE(footer.find("12.5"), std::string::npos) << footer;
+    EXPECT_NE(footer.find("4096"), std::string::npos) << footer;
+  }
+}
+
+}  // namespace
+}  // namespace tcgpu::framework

@@ -73,6 +73,22 @@ TEST(EnginePool, DeviceGraphIsUploadedOnceAcrossAlgorithms) {
   EXPECT_EQ(c.cells, 2u);
 }
 
+TEST(EnginePool, TracksBytesUploadedPerResidentImage) {
+  Engine engine(small_config());
+  const auto pg = engine.prepare("As-Caida");
+  EXPECT_EQ(engine.counters().bytes_uploaded, 0u);  // nothing resident yet
+
+  engine.run("Polak", pg);
+  const std::uint64_t after_one = engine.counters().bytes_uploaded;
+  EXPECT_GT(after_one, 0u);
+  engine.run("TRUST", pg);  // pool hit: no new upload, no new bytes
+  EXPECT_EQ(engine.counters().bytes_uploaded, after_one);
+
+  const auto pg2 = engine.prepare("Wiki-Talk");
+  engine.run("Polak", pg2);  // second resident image adds its own bytes
+  EXPECT_GT(engine.counters().bytes_uploaded, after_one);
+}
+
 TEST(EnginePool, PooledRunMatchesFreshDeviceRunBitIdentically) {
   // The pool bases per-run scratch at the resident device's mark, so the
   // simulated address stream — and therefore every metric and the modeled

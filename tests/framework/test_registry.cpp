@@ -53,11 +53,13 @@ TEST(Registry, HeadlineTrioForFigure15) {
 
 TEST(Registry, ExtendedSetAppendsVariantsAndLibraryKernels) {
   const auto& ext = extended_algorithms();
-  ASSERT_EQ(ext.size(), all_algorithms().size() + 4);
+  ASSERT_EQ(ext.size(), all_algorithms().size() + 6);
   EXPECT_EQ(ext[all_algorithms().size()].name, "GroupTC-H");
   EXPECT_EQ(ext[all_algorithms().size() + 1].name, "MergePath");
   EXPECT_EQ(ext[all_algorithms().size() + 2].name, "BSR");
-  EXPECT_EQ(ext.back().name, "BFS-LA");
+  EXPECT_EQ(ext[all_algorithms().size() + 3].name, "BFS-LA");
+  EXPECT_EQ(ext[all_algorithms().size() + 4].name, "CMerge");
+  EXPECT_EQ(ext.back().name, "CStage");
   const auto algo = make_algorithm("GroupTC-H");
   EXPECT_EQ(algo->traits().intersection, "Hash");
 }
@@ -75,15 +77,19 @@ TEST(Registry, LibraryKernelTraitsFillTaxonomyCells) {
   check("MergePath", "edge", "Merge", "fine", 2014);
   check("BSR", "vertex", "BitMap", "coarse", 2019);
   check("BFS-LA", "vertex", "Merge", "coarse", 2019);
+  // The compressed-CSR decoders stay in the merge family: decode is a
+  // sequential stream read, the same access shape the merge loop already has.
+  check("CMerge", "vertex", "Merge", "coarse", 2024);
+  check("CStage", "vertex", "Merge", "coarse", 2024);
 }
 
 TEST(Registry, PoolIsPaperNinePlusLibraryKernels) {
   const auto& pool = pool_algorithms();
-  ASSERT_EQ(pool.size(), all_algorithms().size() + 3);
+  ASSERT_EQ(pool.size(), all_algorithms().size() + 5);
   for (std::size_t i = 0; i < all_algorithms().size(); ++i) {
     EXPECT_EQ(pool[i].name, all_algorithms()[i].name);
   }
-  EXPECT_EQ(pool.back().name, "BFS-LA");
+  EXPECT_EQ(pool.back().name, "CStage");
   // GroupTC-H is an ablation variant, not a selectable kernel.
   for (const auto& e : pool) EXPECT_NE(e.name, "GroupTC-H");
 }
