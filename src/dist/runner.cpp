@@ -115,8 +115,10 @@ MultiRunResult MultiDeviceRunner::run(const tc::TriangleCounter& algo,
   double sum_ms = 0.0;
   for (const DeviceRun& dr : out.devices) sum_ms += dr.stats.time_ms;
   if (sum_ms > 0.0) out.load_imbalance = out.device_ms * n / sum_ms;
-  out.single_device_ms = baseline_ms(algo, graph);
-  if (out.total_ms > 0.0) out.speedup = out.single_device_ms / out.total_ms;
+  if (cfg_.measure_baseline) {
+    out.single_device_ms = baseline_ms(algo, graph);
+    if (out.total_ms > 0.0) out.speedup = out.single_device_ms / out.total_ms;
+  }
 
   out.valid = out.triangles == graph->reference_triangles;
   if (!out.valid) {

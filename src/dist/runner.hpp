@@ -32,6 +32,11 @@ struct MultiRunConfig {
   std::uint32_t num_devices = 1;
   PartitionStrategy strategy = PartitionStrategy::kRange;
   simt::InterconnectSpec interconnect = simt::InterconnectSpec::nvlink();
+  /// Run the whole-graph single-device baseline per (graph, algorithm) for
+  /// single_device_ms / speedup. The scaling benches want it; the fleet's
+  /// serving path turns it off — it already has the selector's model and
+  /// must not pay an extra full kernel per placed query.
+  bool measure_baseline = true;
 };
 
 /// One shard's share of a run.

@@ -1,0 +1,40 @@
+#include "fleet/placer.hpp"
+
+#include <algorithm>
+
+namespace tcgpu::fleet {
+
+std::string Placement::describe() const {
+  if (!sharded) return "single";
+  return "shard" + std::to_string(shards) + ":" + dist::to_string(strategy);
+}
+
+Placement Placer::decide(const std::string& algorithm,
+                         const serve::CostBreakdown& single,
+                         const graph::GraphStats& stats) const {
+  Placement best;
+  best.cost = selector_.sharded_cost(algorithm, single, 1, stats,
+                                     cfg_.interconnect);
+  best.single_ms = single.modeled_ms;
+  if (cfg_.devices < 2 || single.modeled_ms < cfg_.shard_min_kernel_ms) {
+    return best;  // small kernel or no peers: stay on one warm device
+  }
+  const std::uint32_t widest = std::min(cfg_.devices, cfg_.max_shards);
+  for (std::uint32_t k = 2; k <= widest; k *= 2) {
+    const serve::PlacementCost c =
+        selector_.sharded_cost(algorithm, single, k, stats, cfg_.interconnect);
+    // Admissible only when the modeled win over single-device clears the
+    // speedup bar; among admissible widths take the cheapest total (strictly
+    // cheaper — ties keep the narrower width, fewer devices held).
+    if (single.modeled_ms < c.total_ms * cfg_.min_speedup) continue;
+    if (c.total_ms < best.cost.total_ms) {
+      best.sharded = true;
+      best.shards = k;
+      best.strategy = cfg_.strategy;
+      best.cost = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace tcgpu::fleet

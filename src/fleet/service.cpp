@@ -1,0 +1,155 @@
+#include "fleet/service.hpp"
+
+#include <utility>
+
+namespace tcgpu::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Absolute deadline as a monotone EDF tick (microseconds since the clock
+/// epoch); 0 = no deadline.
+std::uint64_t deadline_tick(Clock::time_point enqueue, double deadline_ms) {
+  if (deadline_ms <= 0.0) return 0;
+  const auto abs = enqueue + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     deadline_ms));
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      abs.time_since_epoch())
+                      .count();
+  return us > 0 ? static_cast<std::uint64_t>(us) : 1;
+}
+
+const std::string& tenant_of(const serve::QueryRequest& req) {
+  static const std::string kDefault = "default";
+  return req.tenant.empty() ? kDefault : req.tenant;
+}
+
+}  // namespace
+
+struct FleetService::Job {
+  serve::QueryRequest req;
+  std::promise<serve::QueryReply> promise;
+  Clock::time_point enqueue;
+};
+
+FleetService::FleetService(framework::Engine& engine, Fleet& fleet, Config cfg)
+    : fleet_(fleet), cfg_(std::move(cfg)), scheduler_(cfg_.default_policy) {
+  cfg_.service.backend = &fleet_;
+  service_ = std::make_unique<serve::QueryService>(engine, cfg_.service);
+  const std::size_t n = std::max<std::size_t>(1, cfg_.dispatchers);
+  dispatchers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+FleetService::~FleetService() { shutdown(); }
+
+void FleetService::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  scheduler_.close();  // dispatchers drain the backlog, then exit
+  for (auto& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  service_->shutdown();
+}
+
+void FleetService::set_tenant_policy(const std::string& tenant,
+                                     TenantPolicy policy) {
+  scheduler_.set_policy(tenant, policy);
+}
+
+std::future<serve::QueryReply> FleetService::submit(serve::QueryRequest req) {
+  auto job = std::make_unique<Job>();
+  job->req = std::move(req);
+  job->enqueue = Clock::now();
+  auto future = job->promise.get_future();
+
+  const std::string tenant = tenant_of(job->req);
+  const std::uint64_t tick =
+      deadline_tick(job->enqueue, job->req.deadline_ms);
+
+  serve::QueryReply early;
+  early.tenant = tenant;
+  early.dataset = job->req.dataset.empty()
+                      ? (job->req.name.empty() ? "inline" : job->req.name)
+                      : job->req.dataset;
+  switch (scheduler_.push(tenant, tick, std::move(job))) {
+    case AdmitResult::kAdmitted: {
+      std::lock_guard lk(mu_);
+      ++stats_[tenant].submitted;
+      return future;
+    }
+    case AdmitResult::kShed:
+      early.status = serve::QueryStatus::kRejected;
+      early.error = "tenant queue full (shed)";
+      break;
+    case AdmitResult::kClosed:
+      early.status = serve::QueryStatus::kShutdown;
+      break;
+  }
+  {
+    std::lock_guard lk(mu_);
+    ++stats_[tenant].shed;
+  }
+  // push() consumes the job only on admission, so the promise is still ours.
+  job->promise.set_value(std::move(early));
+  return future;
+}
+
+void FleetService::dispatcher_loop() {
+  while (auto item = scheduler_.pop()) {
+    Job& job = **item;
+    const std::string tenant = tenant_of(job.req);
+    const double waited = ms_between(job.enqueue, Clock::now());
+
+    if (job.req.deadline_ms > 0.0 && waited >= job.req.deadline_ms) {
+      // Shed before the query costs a prepare or a kernel.
+      serve::QueryReply reply;
+      reply.status = serve::QueryStatus::kDeadlineExpired;
+      reply.error = "deadline passed in scheduler queue";
+      reply.dataset = job.req.dataset.empty()
+                          ? (job.req.name.empty() ? "inline" : job.req.name)
+                          : job.req.dataset;
+      reply.tenant = tenant;
+      {
+        std::lock_guard lk(mu_);
+        ++stats_[tenant].expired;
+      }
+      job.promise.set_value(std::move(reply));
+      continue;
+    }
+    // The inner service re-checks against what is left of the budget.
+    if (job.req.deadline_ms > 0.0) job.req.deadline_ms -= waited;
+
+    serve::QueryReply reply = service_->submit(std::move(job.req)).get();
+    reply.tenant = tenant;
+    {
+      std::lock_guard lk(mu_);
+      TenantStats& ts = stats_[tenant];
+      switch (reply.status) {
+        case serve::QueryStatus::kOk: ++ts.ok; break;
+        case serve::QueryStatus::kDeadlineExpired: ++ts.expired; break;
+        default: ++ts.errors; break;
+      }
+    }
+    job.promise.set_value(std::move(reply));
+  }
+}
+
+std::map<std::string, TenantStats> FleetService::tenant_stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace tcgpu::fleet

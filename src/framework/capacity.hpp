@@ -8,6 +8,10 @@
 
 #include <cstdint>
 
+namespace tcgpu::simt {
+struct GpuSpec;
+}
+
 namespace tcgpu::framework {
 
 /// Peak resident set size of this process in MiB — Linux VmHWM from
@@ -31,5 +35,11 @@ struct CapacityReport {
   double peak_rss_mb = 0.0;
   std::uint64_t bytes_uploaded = 0;
 };
+
+/// Modeled device-memory budget of one GPU, by spec name: what a
+/// fleet::DeviceSlot may hold in pooled graph images before it must evict
+/// (V100 16 GiB, RTX 4090 24 GiB, 16 GiB for unknown presets). Kept beside
+/// the host-capacity probes so every capacity constant lives in one place.
+std::uint64_t device_budget_bytes(const simt::GpuSpec& spec);
 
 }  // namespace tcgpu::framework

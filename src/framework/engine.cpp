@@ -143,6 +143,7 @@ std::shared_ptr<Engine::Resident> Engine::acquire_resident(const GraphHandle& gr
     std::lock_guard sl(stats_mu_);
     ++counters_.uploads;
     counters_.bytes_uploaded += res->mark.bytes_allocated;
+    counters_.bytes_resident += res->mark.bytes_allocated;
   } else {
     std::lock_guard sl(stats_mu_);
     ++counters_.upload_hits;
@@ -165,15 +166,34 @@ bool Engine::evict_locked(const PrepareKey& key, bool force) {
     return false;  // capacity sweep: skip entries mid-prepare
   }
 
+  std::shared_ptr<Resident> dropped;
   if (entry->value) {
     std::lock_guard pl(pool_mu_);
-    pool_.erase(entry->value.get());
+    const auto pit = pool_.find(entry->value.get());
+    if (pit != pool_.end()) {
+      dropped = std::move(pit->second);
+      pool_.erase(pit);
+    }
   }
   lru_.erase(entry->lru_it);
   cache_.erase(it);
+  account_release(dropped);
   std::lock_guard sl(stats_mu_);
   ++counters_.evictions;
   return true;
+}
+
+void Engine::account_release(const std::shared_ptr<Resident>& res) {
+  if (!res) return;
+  std::uint64_t bytes = 0;
+  {
+    std::lock_guard lk(res->m);  // orders us after an in-flight upload
+    if (!res->ready) return;     // never uploaded: nothing was accounted
+    bytes = res->mark.bytes_allocated;
+  }
+  std::lock_guard sl(stats_mu_);
+  counters_.bytes_released += bytes;
+  counters_.bytes_resident -= bytes;
 }
 
 bool Engine::evict(const PrepareKey& key) {
@@ -204,8 +224,28 @@ std::size_t Engine::resident_graphs() const {
 }
 
 bool Engine::release_device(const GraphHandle& graph) {
-  std::lock_guard pl(pool_mu_);
-  return pool_.erase(graph.get()) != 0;
+  std::shared_ptr<Resident> dropped;
+  {
+    std::lock_guard pl(pool_mu_);
+    const auto it = pool_.find(graph.get());
+    if (it == pool_.end()) return false;
+    dropped = std::move(it->second);
+    pool_.erase(it);
+  }
+  account_release(dropped);
+  return true;
+}
+
+std::uint64_t Engine::device_image_bytes(const GraphHandle& graph) const {
+  std::shared_ptr<Resident> res;
+  {
+    std::lock_guard pl(pool_mu_);
+    const auto it = pool_.find(graph.get());
+    if (it == pool_.end()) return 0;
+    res = it->second;
+  }
+  std::lock_guard lk(res->m);
+  return res->ready ? res->mark.bytes_allocated : 0;
 }
 
 RunOutcome Engine::run(const tc::TriangleCounter& algo, const GraphHandle& graph) {

@@ -62,6 +62,12 @@ struct EngineCounters {
   std::uint64_t cells = 0;         ///< algorithm runs completed
   std::uint64_t evictions = 0;     ///< cache entries dropped (cap or evict())
   std::uint64_t bytes_uploaded = 0;  ///< device bytes across all pool uploads
+  /// Device bytes of images dropped by evict()/release_device(). Together
+  /// with bytes_uploaded this makes residency an invariant rather than a
+  /// ratchet: bytes_resident == bytes_uploaded - bytes_released at all
+  /// times, which is what fleet::DeviceSlot accounting trusts.
+  std::uint64_t bytes_released = 0;
+  std::uint64_t bytes_resident = 0;  ///< device bytes currently pooled
 };
 
 /// One dataset of a sweep: the prepared graph and one outcome per algorithm
@@ -146,6 +152,11 @@ class Engine {
   /// one-shot query graphs do not accumulate in the pool.
   bool release_device(const GraphHandle& graph);
 
+  /// Device bytes of this graph's pooled image; 0 when no upload is
+  /// resident. The fleet layer uses it to charge a DeviceSlot the exact
+  /// bytes the engine accounted (EngineCounters::bytes_resident).
+  std::uint64_t device_image_bytes(const GraphHandle& graph) const;
+
   /// False once any run's count mismatched the CPU reference.
   bool all_valid() const;
   /// Shell convention: 0 while all counts validated, 1 otherwise.
@@ -160,6 +171,9 @@ class Engine {
 
   GraphHandle prepare_cached(const PrepareKey& key, const gen::DatasetSpec& spec);
   std::shared_ptr<Resident> acquire_resident(const GraphHandle& graph);
+  /// Folds one dropped pool image into the byte counters (bytes_released up,
+  /// bytes_resident down). No-op for slots that never finished uploading.
+  void account_release(const std::shared_ptr<Resident>& res);
   /// Drops `key` under cache_mu_. `force` waits out an in-flight prepare;
   /// the capacity sweep instead skips busy entries.
   bool evict_locked(const PrepareKey& key, bool force);

@@ -41,10 +41,19 @@ struct BenchOptions {
   std::vector<std::uint64_t> stream_batch;  ///< batch sizes to sweep; empty = default
   std::size_t snapshots = 0;              ///< snapshot history depth; 0 = default
 
+  /// Fleet mode (bench/serve_throughput --fleet): closed-loop mixed-traffic
+  /// serving against fleet::FleetService, sweeping the device count
+  /// (M = 1,2,4,8 unless --gpus pins one).
+  bool fleet = false;
+  /// "dataset:placement,..." — pinned placer decisions the fleet bench
+  /// asserts after warmup (CI drift gate, like check_picks); "" = none.
+  std::string check_placements;
+
   /// Parses argv (flags: --max-edges=N --seed=N --full --csv --json
   /// --gpu=NAME --datasets=a,b,c --algos=a,b,c --algo=NAME --jobs=N
   /// --serial --max-resident=N --gpus=N --partition=range|hash|2d
   /// --clients=N --queries=N --check-picks=ds:algo,...
+  /// --fleet --check-placements=ds:placement,...
   /// --mutations=N --stream-batch=a,b,c --snapshots=N) with
   /// TCGPU_EDGE_CAP / TCGPU_SEED / TCGPU_JOBS as fallbacks.
   /// Unknown flags, unknown --datasets/--algos names and malformed numbers

@@ -1,0 +1,58 @@
+// serve::ExecutionBackend — the seam between query admission and kernel
+// execution.
+//
+// QueryService resolves a query to (graph handle, chosen algorithm) and then
+// hands execution to a backend. The default (Config::backend == nullptr) is
+// a direct Engine::run — exactly the pre-fleet behavior. fleet::Fleet plugs
+// in here to add placement (single device vs sharded across the modeled
+// interconnect), per-device residency accounting, and a versioned result
+// cache, without the admission/batching/selection layers knowing any of it.
+//
+// Contract: execute() is called from service worker threads concurrently and
+// must be thread-safe. It either returns a terminal outcome or throws (the
+// service maps exceptions to kError). invalidate(key) is called after every
+// committed mutation of `key` — whatever the backend cached for any version
+// of that graph must not be served again.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "framework/runner.hpp"
+#include "serve/selector.hpp"
+
+namespace tcgpu::serve {
+
+/// One resolved query, ready to execute.
+struct ExecutionRequest {
+  /// Stable graph identity: dataset name, or "inline:<hash>" for inline
+  /// queries. Together with `version` it keys result caching and placement.
+  std::string key;
+  std::uint64_t version = 0;  ///< graph version (0 = never mutated)
+  Hint hint = Hint::kAuto;
+  std::string algorithm;  ///< kernel to run (selector's or caller's choice)
+  /// The selector's single-device score for `algorithm` on this graph —
+  /// placement decisions start from it instead of re-scoring.
+  CostBreakdown modeled;
+  std::shared_ptr<const framework::PreparedGraph> graph;
+};
+
+struct ExecutionOutcome {
+  framework::RunOutcome run;
+  bool cache_hit = false;  ///< served from the result cache; run is synthetic
+  bool sharded = false;
+  std::uint32_t devices = 1;     ///< shards the kernel ran across
+  double comm_ms = 0.0;          ///< modeled interconnect time (sharded only)
+  std::string placement = "single";  ///< placer's decision label
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+  virtual ExecutionOutcome execute(const ExecutionRequest& req) = 0;
+  /// Drop every cached result for any version of this graph key.
+  virtual void invalidate(const std::string& key) = 0;
+};
+
+}  // namespace tcgpu::serve

@@ -4,9 +4,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simt/interconnect.hpp"
+
 namespace tcgpu::serve {
 
 namespace {
+
+/// Mutation-cost constants, calibrated against bench/stream_churn on the
+/// v100 preset: per-op delta staging cost (normalize, overlay, wedge-stage
+/// both endpoints' rows, amortized COW segment rebuild) and the recount-side
+/// scale on the merge-family full-kernel work. Their ratio pins the
+/// delta-vs-recount crossover — As-Caida at the default cap flips near
+/// batch 1024, matching the measured churn curves.
+constexpr double kDeltaOpCost = 38.0;
+constexpr double kRecountCost = 1.0;
 
 /// Graph identity for refinement keys: a splitmix64 mix of the stats fields
 /// that pin a prepared graph. Deterministic across runs and platforms.
@@ -237,6 +248,71 @@ double Selector::refinement(const std::string& algorithm,
 std::size_t Selector::observations() const {
   std::lock_guard lk(mu_);
   return observed_.size();
+}
+
+MutationCost Selector::mutation_cost(const graph::GraphStats& stats,
+                                     std::size_t batch_ops) const {
+  const double davg = std::max(1.0, stats.avg_out_degree);
+  const double edges = static_cast<double>(stats.num_undirected_edges);
+  const double s2 = static_cast<double>(stats.sum_out_degree_sq);
+  // Delta path: each op stages the wedges incident to its endpoints (two
+  // adjacency scans of ~d_avg) plus the fixed per-op staging overhead the
+  // calibration folds in. Linear in the batch.
+  const double delta_work = static_cast<double>(batch_ops) * kDeltaOpCost *
+                            2.0 * (davg + 1.0);
+  // Recount path: one merge-family full kernel over the post-commit graph —
+  // the shape the selector would typically dispatch — independent of the
+  // batch size.
+  const double recount_work = kRecountCost * (s2 + edges * davg);
+  MutationCost mc;
+  mc.delta_ms = cfg_.spec.parallel_cycles_to_ms(delta_work) +
+                cfg_.spec.launch_overhead_ms(1);
+  mc.recount_ms = cfg_.spec.parallel_cycles_to_ms(recount_work) +
+                  cfg_.spec.launch_overhead_ms(1);
+  mc.use_delta = mc.delta_ms <= mc.recount_ms;
+  return mc;
+}
+
+PlacementCost Selector::sharded_cost(const std::string& algorithm,
+                                     const CostBreakdown& single,
+                                     std::uint32_t devices,
+                                     const graph::GraphStats& stats,
+                                     const simt::InterconnectSpec& net) const {
+  PlacementCost pc;
+  pc.devices = std::max(1u, devices);
+  if (pc.devices == 1) {
+    pc.kernel_ms = single.modeled_ms;
+    pc.total_ms = single.modeled_ms;
+    return pc;
+  }
+  // An even 1/k work split shrinks the modeled kernel term by k^alpha (the
+  // model is sub-linear in work, so sharding never reaches ideal 1/k), and
+  // every shard still pays its own launch.
+  double alpha = 0.7;
+  for (const auto& m : models_) {
+    if (m.name == algorithm) {
+      alpha = m.work_exponent;
+      break;
+    }
+  }
+  const double k = static_cast<double>(pc.devices);
+  const double work_ms = std::max(0.0, single.modeled_ms - single.launch_ms);
+  pc.kernel_ms = work_ms / std::pow(k, alpha) + single.launch_ms;
+  // Comm: each shard must receive the ghost adjacency rows it does not own,
+  // as one message per contributing peer, then the per-device counts
+  // all-reduce. dist::Partitioner's measured replication factor sits near 2
+  // on the paper graphs — a shard imports roughly its own 4-byte-per-edge
+  // share of the CSR image again — so ghost traffic is modeled as E/k
+  // entries per device, not the full (k-1)/k remainder.
+  const auto ghost_per_dev = static_cast<std::uint64_t>(
+      4.0 * static_cast<double>(stats.num_undirected_edges) / k);
+  const simt::Interconnect link(net, pc.devices);
+  const std::vector<std::uint64_t> bytes(pc.devices, ghost_per_dev);
+  const std::vector<std::uint64_t> msgs(pc.devices, pc.devices - 1);
+  pc.comm_ms = link.scatter(bytes, msgs).time_ms +
+               link.all_reduce(sizeof(std::uint64_t)).time_ms;
+  pc.total_ms = pc.kernel_ms + pc.comm_ms;
+  return pc;
 }
 
 std::size_t Selector::forget(const graph::GraphStats& stats) {

@@ -77,6 +77,29 @@ struct Candidate {
   CostBreakdown cost;
 };
 
+/// Modeled cost of applying one mutation batch to a served graph: commit the
+/// incremental delta kernel (work ∝ batch size) vs recounting the whole
+/// post-commit graph with a full kernel (work ∝ graph size). The serving
+/// layer dispatches whichever side is cheaper; the constants are calibrated
+/// so the crossover lands where bench/stream_churn measures it (As-Caida
+/// flips to recount around batch 1024).
+struct MutationCost {
+  double delta_ms = 0.0;    ///< incremental delta-kernel commit
+  double recount_ms = 0.0;  ///< full-kernel recount of the new snapshot
+  bool use_delta = true;    ///< delta_ms <= recount_ms
+};
+
+/// Modeled cost of one fleet placement: run the chosen kernel across
+/// `devices` shards. kernel_ms is the slowest shard (the work split is
+/// even, so 1/devices of the work through the sub-linear model), comm_ms
+/// the ghost scatter plus count all-reduce on the modeled interconnect.
+struct PlacementCost {
+  std::uint32_t devices = 1;
+  double kernel_ms = 0.0;
+  double comm_ms = 0.0;
+  double total_ms = 0.0;
+};
+
 /// Static per-algorithm model parameters (see the file comment). Work names
 /// one intersection family from tc/intersect/: the first four are the
 /// paper's Table I strategies; the last three cover the library kernels
@@ -154,6 +177,19 @@ class Selector {
 
   /// Number of distinct (algorithm, graph) observations folded so far.
   std::size_t observations() const;
+
+  /// Models delta-commit vs full-kernel recount for a `batch_ops`-operation
+  /// mutation batch against a graph with these stats (see MutationCost).
+  MutationCost mutation_cost(const graph::GraphStats& stats,
+                             std::size_t batch_ops) const;
+
+  /// Models running `algorithm` split across `devices` even shards over the
+  /// given interconnect, starting from its single-device CostBreakdown.
+  /// devices == 1 returns the single-device cost with zero comm.
+  PlacementCost sharded_cost(const std::string& algorithm,
+                             const CostBreakdown& single, std::uint32_t devices,
+                             const graph::GraphStats& stats,
+                             const simt::InterconnectSpec& net) const;
 
   /// Drops every folded observation for this graph identity (all
   /// algorithms). The serve layer calls it when a streamed graph's version

@@ -47,7 +47,11 @@ const char* to_string(QueryStatus s) {
 /// One admitted query riding through the pipeline.
 struct QueryService::Pending {
   QueryRequest req;
-  std::string key;  ///< batching key: dataset name or inline content hash
+  std::string key;   ///< batching key: dataset name or inline content hash;
+                     ///< version-pinned queries append "@vN" so they never
+                     ///< share a batch with head queries of the dataset
+  std::string pick;  ///< pick/backend key: the bare graph identity (no @vN —
+                     ///< PickKey and the result cache carry the version)
   QueryTrace trace;
   std::promise<QueryReply> promise;
 };
@@ -126,12 +130,21 @@ std::future<QueryReply> QueryService::submit(QueryRequest req) {
       !pending->req.is_mutation()) {
     early.status = QueryStatus::kInvalidRequest;
     early.error = "query names no dataset and carries no edges";
+  } else if (pending->req.version != 0 && pending->req.is_mutation()) {
+    early.status = QueryStatus::kInvalidRequest;
+    early.error = "mutations always target the head version (version must be 0)";
+  } else if (pending->req.version != 0 && pending->req.dataset.empty()) {
+    early.status = QueryStatus::kInvalidRequest;
+    early.error = "inline graphs have no version history to pin";
   } else if (queue_.closed()) {
     early.status = QueryStatus::kShutdown;
   } else {
-    pending->key = pending->req.dataset.empty()
-                       ? "inline:" + std::to_string(edges_hash(pending->req.edges))
-                       : pending->req.dataset;
+    pending->pick = pending->req.dataset.empty()
+                        ? "inline:" + std::to_string(edges_hash(pending->req.edges))
+                        : pending->req.dataset;
+    pending->key = pending->req.version != 0
+                       ? pending->pick + "@v" + std::to_string(pending->req.version)
+                       : pending->pick;
     if (queue_.push(std::move(pending))) {
       std::lock_guard lk(mu_);
       ++counters_.submitted;
@@ -221,6 +234,7 @@ void QueryService::handle_mutation(Pending& p, const std::string& label) {
   QueryReply reply;
   reply.dataset = label;
   reply.algorithm = "stream-delta";
+  reply.tenant = p.req.tenant;
 
   if (p.req.dataset.empty()) {
     reply.status = QueryStatus::kInvalidRequest;
@@ -262,7 +276,16 @@ void QueryService::handle_mutation(Pending& p, const std::string& label) {
     p.trace.run_start = now();
     stream::CommitResult cr;
     try {
-      cr = ss->dyn->commit(ops);
+      // Delta vs recount: the delta kernel's cost grows with the batch, a
+      // full recount's with the graph — the selector models the crossover
+      // and the commit takes whichever side is cheaper (both are exact and
+      // produce bit-identical snapshots).
+      stream::CommitMode mode = stream::CommitMode::kDelta;
+      if (cfg_.mutation_model &&
+          !selector_.mutation_cost(old_stats, ops.size()).use_delta) {
+        mode = stream::CommitMode::kRecount;
+      }
+      cr = ss->dyn->commit(ops, mode);
     } catch (const std::exception& e) {
       p.trace.run_done = now();
       reply.status = QueryStatus::kError;
@@ -271,6 +294,7 @@ void QueryService::handle_mutation(Pending& p, const std::string& label) {
       return;
     }
     p.trace.run_done = now();
+    if (cr.recounted) reply.algorithm = "stream-recount";
 
     changed = cr.changed;
     new_version = cr.version;
@@ -285,6 +309,7 @@ void QueryService::handle_mutation(Pending& p, const std::string& label) {
         ss->materialized_version = 0;
       }
       engine_.invalidate(p.req.dataset);
+      if (cfg_.backend != nullptr) cfg_.backend->invalidate(p.req.dataset);
       selector_.forget(old_stats);
     }
 
@@ -331,6 +356,7 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
   // mutation produced (same-key batching keeps the submission order).
   framework::Engine::GraphHandle graph;
   framework::Engine::GraphHandle inline_graph;  // released after the batch
+  framework::Engine::GraphHandle pinned_graph;  // released after the batch
   std::uint64_t graph_version = 0;
   bool from_stream = false;
   bool resolved = false;
@@ -352,6 +378,44 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
           inline_graph = engine_.prepare_raw(label, head.req.edges);
         }
         graph = inline_graph;
+      } else if (head.req.version != 0) {
+        // Version-pinned (time-travel) read: answer from the retained
+        // snapshot, materialized once per batch outside the engine cache —
+        // its one-shot device image is released when the batch ends.
+        const std::uint64_t want = head.req.version;
+        if (!pinned_graph) {
+          std::shared_ptr<const stream::Snapshot> snap;
+          std::uint64_t head_version = 0;
+          if (const auto ss = stream_state(head.req.dataset, /*create=*/false)) {
+            std::lock_guard slk(ss->m);
+            if (ss->dyn) {
+              head_version = ss->dyn->version();
+              snap = ss->dyn->snapshot_at(want);
+            }
+          }
+          if (head_version == 0) {
+            resolve_error = "dataset '" + head.req.dataset +
+                            "' has no mutation history; cannot pin version " +
+                            std::to_string(want);
+          } else if (!snap) {
+            resolve_error = "version " + std::to_string(want) +
+                            " outside history window (head v" +
+                            std::to_string(head_version) + ", retained " +
+                            std::to_string(cfg_.snapshots) + ")";
+          } else {
+            auto pg = std::make_shared<framework::PreparedGraph>();
+            pg->name = head.key;  // "dataset@vN" labels traces and the pool
+            pg->stats = snap->stats();
+            pg->dag = snap->materialize_dag();
+            pg->reference_triangles = snap->triangles();
+            pinned_graph = pg;
+          }
+        }
+        if (pinned_graph) {
+          graph = pinned_graph;
+          graph_version = want;
+          from_stream = true;
+        }
       } else {
         if (const auto ss = stream_state(head.req.dataset, /*create=*/false)) {
           std::lock_guard slk(ss->m);
@@ -382,6 +446,7 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
     QueryReply reply;
     reply.dataset = label;
     reply.version = graph_version;
+    reply.tenant = p->req.tenant;
 
     if (!resolve_error.empty()) {
       reply.status = QueryStatus::kInvalidRequest;
@@ -404,7 +469,7 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
     std::string algo = p->req.algorithm;
     if (algo.empty()) {
       reply.selected = true;
-      const PickKey pick_key{p->key, graph_version, p->req.hint};
+      const PickKey pick_key{p->pick, graph_version, p->req.hint};
       bool latched = false;
       if (cfg_.sticky_picks) {
         std::lock_guard lk(mu_);
@@ -443,13 +508,35 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
 
     p->trace.run_start = now();
     try {
-      framework::RunOutcome out = engine_.run(algo, graph);
+      framework::RunOutcome out;
+      bool cache_hit = false;
+      if (cfg_.backend != nullptr) {
+        ExecutionRequest er;
+        er.key = p->pick;
+        er.version = graph_version;
+        er.hint = p->req.hint;
+        er.algorithm = algo;
+        er.modeled = reply.modeled;
+        er.graph = graph;
+        ExecutionOutcome eo = cfg_.backend->execute(er);
+        out = std::move(eo.run);
+        cache_hit = eo.cache_hit;
+        reply.cache_hit = eo.cache_hit;
+        reply.sharded = eo.sharded;
+        reply.devices = eo.devices;
+        reply.comm_ms = eo.comm_ms;
+        reply.placement = eo.placement;
+      } else {
+        out = engine_.run(algo, graph);
+      }
       p->trace.run_done = now();
       reply.triangles = out.result.triangles;
       reply.valid = out.valid;
       reply.stats = out.result.total;
       reply.status = QueryStatus::kOk;
-      if (cfg_.refine) {
+      if (cfg_.refine && !cache_hit) {
+        // A cache hit carries no fresh KernelStats; folding its synthetic
+        // run back in would double-count the original observation.
         selector_.observe(algo, graph->stats, out.result.total);
       }
       if (from_stream) {
@@ -470,6 +557,7 @@ void QueryService::process_batch(std::vector<std::unique_ptr<Pending>> batch) {
 
   // One-shot graphs must not accumulate device images in the pool.
   if (inline_graph) engine_.release_device(inline_graph);
+  if (pinned_graph) engine_.release_device(pinned_graph);
 }
 
 ServiceCounters QueryService::counters() const {

@@ -48,6 +48,7 @@
 #include "graph/coo.hpp"
 #include "graph/types.hpp"
 #include "serve/admission.hpp"
+#include "serve/backend.hpp"
 #include "serve/selector.hpp"
 #include "serve/trace.hpp"
 
@@ -79,6 +80,15 @@ struct QueryRequest {
   /// many ms after submission; 0 = no deadline.
   double deadline_ms = 0.0;
 
+  /// Pin the query to a past snapshot of a streamed dataset (time-travel
+  /// read): 0 = the head version. Non-zero requires a dataset that has
+  /// mutated and a version still inside the snapshot history window
+  /// (kInvalidRequest otherwise); mutations and inline graphs cannot pin.
+  std::uint64_t version = 0;
+  /// Fair-queueing identity for the fleet scheduler; the plain service
+  /// carries it through to the reply untouched. Empty = default tenant.
+  std::string tenant;
+
   /// Mutation payload: applied to the named dataset as one batch (inserts
   /// first, then removals), bumping its version. Endpoints are in the
   /// served (relabeled) id space. Requires `dataset`; inline graphs cannot
@@ -108,6 +118,15 @@ struct QueryReply {
   std::uint64_t version = 0;
   /// Mutation replies: triangle-count change this batch produced.
   std::int64_t delta_triangles = 0;
+
+  // Execution-backend (fleet) annotations; defaults describe the direct
+  // single-device engine path.
+  bool cache_hit = false;        ///< answered from the backend's result cache
+  bool sharded = false;          ///< kernel ran split across devices
+  std::uint32_t devices = 1;     ///< shard count (1 = single device)
+  double comm_ms = 0.0;          ///< modeled interconnect time (sharded only)
+  std::string placement;         ///< placer's decision label (fleet only)
+  std::string tenant;            ///< echoed from the request
 };
 
 struct ServiceCounters {
@@ -137,6 +156,13 @@ class QueryService {
     bool sticky_picks = true;
     /// Snapshot history depth per streamed dataset (DynamicGraph::Config).
     std::size_t snapshots = 4;
+    /// Model delta-commit vs full recount per mutation batch
+    /// (Selector::mutation_cost) and commit with the cheaper mode; false
+    /// always takes the delta path (the pre-model behavior).
+    bool mutation_model = true;
+    /// Execution backend; nullptr = direct Engine::run (bit-identical to the
+    /// pre-fleet single-device path). Borrowed; must outlive the service.
+    ExecutionBackend* backend = nullptr;
   };
 
   /// Borrows the engine (graph cache, device pool, validation); the engine

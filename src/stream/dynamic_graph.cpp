@@ -158,6 +158,10 @@ graph::GraphStats DynamicGraph::make_stats() const {
 }
 
 CommitResult DynamicGraph::commit(std::span<const EdgeOp> ops) {
+  return commit(ops, CommitMode::kDelta);
+}
+
+CommitResult DynamicGraph::commit(std::span<const EdgeOp> ops, CommitMode mode) {
   std::lock_guard lk(mu_);
   const std::shared_ptr<const Snapshot> base = head_;
   CommitResult res;
@@ -221,19 +225,21 @@ CommitResult DynamicGraph::commit(std::span<const EdgeOp> ops) {
       cur_V = b + 1;
     }
 
-    // Stage the pre-op neighborhoods. Neither contains a common element
-    // through the edge itself (w == a or w == b is impossible), so the
-    // intersection is exactly the wedge set the op opens or closes.
-    const auto rb = cur_row(b);
-    WedgeJob w;
-    w.a_lo = static_cast<std::uint32_t>(staged.size());
-    staged.insert(staged.end(), ra.begin(), ra.end());
-    w.a_hi = static_cast<std::uint32_t>(staged.size());
-    w.b_lo = w.a_hi;
-    staged.insert(staged.end(), rb.begin(), rb.end());
-    w.b_hi = static_cast<std::uint32_t>(staged.size());
-    ranges.push_back(w);
-    jobs.push_back({a, b, op.insert});
+    if (mode == CommitMode::kDelta) {
+      // Stage the pre-op neighborhoods. Neither contains a common element
+      // through the edge itself (w == a or w == b is impossible), so the
+      // intersection is exactly the wedge set the op opens or closes.
+      const auto rb = cur_row(b);
+      WedgeJob w;
+      w.a_lo = static_cast<std::uint32_t>(staged.size());
+      staged.insert(staged.end(), ra.begin(), ra.end());
+      w.a_hi = static_cast<std::uint32_t>(staged.size());
+      w.b_lo = w.a_hi;
+      staged.insert(staged.end(), rb.begin(), rb.end());
+      w.b_hi = static_cast<std::uint32_t>(staged.size());
+      ranges.push_back(w);
+      jobs.push_back({a, b, op.insert});
+    }
 
     auto& va = mut_row(a);
     auto& vb = mut_row(b);
@@ -266,7 +272,68 @@ CommitResult DynamicGraph::commit(std::span<const EdgeOp> ops) {
   }
 
   res.wedge_jobs = static_cast<std::uint32_t>(jobs.size());
-  if (jobs.empty()) return res;  // nothing effective: version does not move
+  if (res.inserted + res.removed == 0) {
+    return res;  // nothing effective: version does not move
+  }
+
+  if (mode == CommitMode::kRecount) {
+    // ---- recount path: rebuild everything from the post-commit rows ------
+    // Materialize the new DAG (the u < v slots of every row) and recount
+    // per-edge support from scratch — the seed constructor's path, so the
+    // published snapshot is bit-identical to one the delta path would have
+    // produced, at whole-graph instead of per-batch cost.
+    std::vector<graph::EdgeIndex> rp(static_cast<std::size_t>(cur_V) + 1, 0);
+    std::vector<graph::VertexId> col;
+    for (graph::VertexId x = 0; x < cur_V; ++x) {
+      const auto row = cur_row(x);
+      col.insert(col.end(),
+                 std::upper_bound(row.begin(), row.end(), x), row.end());
+      rp[x + 1] = static_cast<graph::EdgeIndex>(col.size());
+    }
+    const graph::Csr dag(std::move(rp), std::move(col));
+    const auto sup = tc::cpu_edge_support(dag);
+    std::uint64_t sup_sum = 0;
+    for (const std::uint32_t s : sup) sup_sum += s;
+
+    auto snap = std::make_shared<Snapshot>();
+    snap->version_ = base->version() + 1;
+    snap->num_vertices_ = cur_V;
+    snap->num_edges_ = num_edges_;
+    snap->triangles_ = sup_sum / 3;
+    snap->stats_ = make_stats();
+    const std::size_t nseg =
+        (static_cast<std::size_t>(cur_V) + Snapshot::kSegmentSize - 1) >>
+        Snapshot::kSegmentShift;
+    snap->segments_.reserve(nseg);
+    for (std::size_t s = 0; s < nseg; ++s) {
+      auto seg = std::make_shared<Snapshot::Segment>();
+      seg->off.assign(Snapshot::kSegmentSize + 1, 0);
+      for (std::uint32_t local = 0; local < Snapshot::kSegmentSize; ++local) {
+        const std::uint64_t id = (s << Snapshot::kSegmentShift) + local;
+        if (id < cur_V) {
+          const auto x = static_cast<graph::VertexId>(id);
+          std::size_t out_k = 0;
+          for (const graph::VertexId y : cur_row(x)) {
+            seg->adj.push_back(y);
+            seg->sup.push_back(y > x ? sup[dag.row_ptr()[x] + out_k++] : 0);
+          }
+        }
+        seg->off[local + 1] = static_cast<graph::EdgeIndex>(seg->adj.size());
+      }
+      snap->segments_.push_back(std::move(seg));
+    }
+
+    res.delta_triangles = static_cast<std::int64_t>(snap->triangles_) -
+                          static_cast<std::int64_t>(base->triangles());
+    history_.push_back(head_);
+    while (history_.size() > cfg_.history) history_.pop_front();
+    head_ = snap;
+    res.changed = true;
+    res.recounted = true;
+    res.version = snap->version_;
+    res.triangles = snap->triangles_;
+    return res;
+  }
 
   // ---- pass 2: the metered delta kernel ----------------------------------
   const DeltaOutcome delta =

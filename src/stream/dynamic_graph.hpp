@@ -56,8 +56,17 @@ struct CommitResult {
   std::uint32_t removed = 0;     ///< effective deletes applied
   std::uint32_t skipped = 0;     ///< self-loops, duplicates, absent deletes
   std::uint32_t wedge_jobs = 0;  ///< delta-kernel intersections run
+  bool recounted = false;        ///< CommitMode::kRecount took the full path
   simt::KernelStats stats;       ///< delta kernel's metered stats
 };
+
+/// How commit() re-establishes the triangle count and per-edge support.
+/// kDelta pays work proportional to the batch (staged wedge intersections);
+/// kRecount pays work proportional to the whole post-commit graph (a fresh
+/// support recount, the seed constructor's path). Both produce bit-identical
+/// snapshots; serve::Selector::mutation_cost models which side is cheaper
+/// for a given (graph, batch) and the serving layer dispatches accordingly.
+enum class CommitMode { kDelta, kRecount };
 
 class DynamicGraph {
  public:
@@ -79,8 +88,9 @@ class DynamicGraph {
 
   /// Applies one batch in order and publishes a new snapshot (unless no op
   /// was effective, in which case the version does not move). Thread-safe;
-  /// commits serialize.
+  /// commits serialize. The one-argument form always takes the delta path.
   CommitResult commit(std::span<const EdgeOp> ops);
+  CommitResult commit(std::span<const EdgeOp> ops, CommitMode mode);
 
   /// The current version's snapshot (immutable; hold it as long as needed).
   std::shared_ptr<const Snapshot> snapshot() const;

@@ -1,0 +1,324 @@
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "fleet/service.hpp"
+#include "serve/service.hpp"
+
+namespace tcgpu::fleet {
+namespace {
+
+framework::Engine::Config small_engine() {
+  framework::Engine::Config cfg;
+  cfg.max_edges = 2'000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+serve::QueryRequest dataset_query(std::string name) {
+  serve::QueryRequest req;
+  req.dataset = std::move(name);
+  return req;
+}
+
+/// An interconnect so fast that sharding always models as a win — lets the
+/// tiny test graphs exercise the sharded path deterministically.
+simt::InterconnectSpec free_link() {
+  simt::InterconnectSpec net;
+  net.name = "test-free";
+  net.peer_bandwidth_gbps = 1e9;
+  net.latency_us = 0.0;
+  return net;
+}
+
+// --- M=1 bit-identity against the backend-less service ---------------------
+
+TEST(FleetIdentity, SingleDeviceMatchesPlainServiceExactly) {
+  const std::vector<std::string> datasets = {"As-Caida", "Email-EuAll",
+                                             "P2p-Gnutella31"};
+
+  framework::Engine plain_engine(small_engine());
+  serve::QueryService plain(plain_engine);
+
+  framework::Engine fleet_engine(small_engine());
+  Fleet::Config fc;
+  fc.devices = 1;
+  Fleet fleet(fleet_engine, fc);
+  serve::QueryService::Config sc;
+  sc.backend = &fleet;
+  serve::QueryService backed(fleet_engine, sc);
+
+  for (const auto& name : datasets) {
+    const auto a = plain.submit(dataset_query(name)).get();
+    const auto b = backed.submit(dataset_query(name)).get();
+    ASSERT_EQ(a.status, serve::QueryStatus::kOk) << name;
+    ASSERT_EQ(b.status, serve::QueryStatus::kOk) << name;
+    // Same pick, same count, same modeled score, same simulated KernelStats
+    // — the M=1 fleet path runs the identical Engine::run.
+    EXPECT_EQ(a.algorithm, b.algorithm) << name;
+    EXPECT_EQ(a.triangles, b.triangles) << name;
+    EXPECT_EQ(a.modeled.modeled_ms, b.modeled.modeled_ms) << name;
+    EXPECT_EQ(a.stats, b.stats) << name;  // bit-level KernelStats equality
+    EXPECT_TRUE(b.valid) << name;
+    EXPECT_FALSE(b.sharded) << name;
+    EXPECT_EQ(b.placement, "single") << name;
+  }
+  EXPECT_EQ(plain.decision_table(), backed.decision_table());
+  EXPECT_EQ(fleet.counters().sharded_runs, 0u);
+}
+
+// --- placement --------------------------------------------------------------
+
+TEST(FleetPlacement, TableIsDeterministicAcrossWorkerCounts) {
+  const std::vector<std::string> datasets = {"As-Caida", "Email-EuAll",
+                                             "Com-Dblp"};
+  std::vector<std::vector<std::pair<std::string, std::string>>> tables;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    framework::Engine engine(small_engine());
+    Fleet::Config fc;
+    fc.devices = 4;
+    fc.shard_min_kernel_ms = 0.0;
+    fc.interconnect = free_link();
+    Fleet fleet(engine, fc);
+    serve::QueryService::Config sc;
+    sc.workers = workers;
+    sc.backend = &fleet;
+    serve::QueryService service(engine, sc);
+    // Concurrent submissions; placement must not depend on arrival order.
+    std::vector<std::future<serve::QueryReply>> futures;
+    for (int round = 0; round < 3; ++round) {
+      for (const auto& name : datasets) {
+        futures.push_back(service.submit(dataset_query(name)));
+      }
+    }
+    for (auto& f : futures) EXPECT_EQ(f.get().status, serve::QueryStatus::kOk);
+    tables.push_back(fleet.placement_table());
+  }
+  EXPECT_EQ(tables[0], tables[1]);
+  EXPECT_EQ(tables[0], tables[2]);
+}
+
+TEST(FleetPlacement, ShardedRunCountsExactly) {
+  framework::Engine engine(small_engine());
+  Fleet::Config fc;
+  fc.devices = 4;
+  fc.shard_min_kernel_ms = 0.0;
+  fc.min_speedup = 1.0;
+  fc.interconnect = free_link();
+  Fleet fleet(engine, fc);
+  serve::QueryService::Config sc;
+  sc.backend = &fleet;
+  serve::QueryService service(engine, sc);
+
+  const auto reply = service.submit(dataset_query("As-Caida")).get();
+  ASSERT_EQ(reply.status, serve::QueryStatus::kOk);
+  EXPECT_TRUE(reply.sharded);
+  EXPECT_GT(reply.devices, 1u);
+  EXPECT_TRUE(reply.valid);
+  EXPECT_EQ(reply.triangles,
+            engine.prepare("As-Caida")->reference_triangles);
+  EXPECT_EQ(reply.placement.rfind("shard", 0), 0u) << reply.placement;
+  EXPECT_EQ(fleet.counters().sharded_runs, 1u);
+
+  // The shard kernel time was charged to the participating slots.
+  double busy = 0.0;
+  std::uint64_t runs = 0;
+  for (const auto& slot : fleet.slots()) {
+    busy += slot.busy_ms;
+    runs += slot.runs;
+  }
+  EXPECT_GT(busy, 0.0);
+  EXPECT_EQ(runs, reply.devices);
+}
+
+TEST(FleetPlacement, TinyKernelsStaySingle) {
+  framework::Engine engine(small_engine());
+  Fleet::Config fc;
+  fc.devices = 8;  // plenty of peers, but nothing clears the admission bar
+  Fleet fleet(engine, fc);
+  serve::QueryService::Config sc;
+  sc.backend = &fleet;
+  serve::QueryService service(engine, sc);
+  const auto reply = service.submit(dataset_query("As-Caida")).get();
+  ASSERT_EQ(reply.status, serve::QueryStatus::kOk);
+  EXPECT_FALSE(reply.sharded);
+  EXPECT_EQ(reply.placement, "single");
+}
+
+// --- result cache -----------------------------------------------------------
+
+TEST(FleetCache, RepeatHitsSkipTheDeviceAndMutationInvalidates) {
+  framework::Engine engine(small_engine());
+  Fleet::Config fc;
+  fc.devices = 2;
+  Fleet fleet(engine, fc);
+  serve::QueryService::Config sc;
+  sc.backend = &fleet;
+  serve::QueryService service(engine, sc);
+
+  const auto first = service.submit(dataset_query("As-Caida")).get();
+  ASSERT_EQ(first.status, serve::QueryStatus::kOk);
+  EXPECT_FALSE(first.cache_hit);
+
+  const auto second = service.submit(dataset_query("As-Caida")).get();
+  ASSERT_EQ(second.status, serve::QueryStatus::kOk);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.triangles, first.triangles);
+  EXPECT_EQ(fleet.cache_counters().hits, 1u);
+  // The hit ran no kernel: single_runs stays at the first query's one.
+  EXPECT_EQ(fleet.counters().single_runs, 1u);
+
+  // A mutation bumps the version and explicitly invalidates the key...
+  auto mut = dataset_query("As-Caida");
+  mut.insert_edges = {{0, 1}, {0, 2}, {1, 2}};
+  const auto committed = service.submit(std::move(mut)).get();
+  ASSERT_EQ(committed.status, serve::QueryStatus::kOk);
+  EXPECT_GE(fleet.counters().invalidations, 1u);
+
+  // ...so the next read recomputes at the new version instead of replaying.
+  const auto after = service.submit(dataset_query("As-Caida")).get();
+  ASSERT_EQ(after.status, serve::QueryStatus::kOk);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.version, committed.version);
+  EXPECT_TRUE(after.valid);
+}
+
+// --- device slots / capacity ------------------------------------------------
+
+TEST(FleetSlots, CapacityBoundEvictsColdImages) {
+  const std::vector<std::string> datasets = {"As-Caida", "Email-EuAll",
+                                             "Com-Dblp", "P2p-Gnutella31"};
+  // Measure the real accounted image bytes first (upload via one run each),
+  // then budget the slot one byte short of all four: at least one eviction
+  // is forced, and no single image can exceed the budget.
+  std::uint64_t total_bytes = 0;
+  {
+    framework::Engine probe(small_engine());
+    for (const auto& name : datasets) {
+      const auto pg = probe.prepare(name);
+      probe.run("Polak", pg);
+      total_bytes += probe.device_image_bytes(pg);
+    }
+  }
+  ASSERT_GT(total_bytes, 0u);
+
+  framework::Engine engine(small_engine());
+  Fleet::Config fc;
+  fc.devices = 1;
+  fc.device_capacity_bytes = total_bytes - 1;
+  Fleet fleet(engine, fc);
+  serve::QueryService::Config sc;
+  sc.backend = &fleet;
+  serve::QueryService service(engine, sc);
+
+  for (const auto& name : datasets) {
+    ASSERT_EQ(service.submit(dataset_query(name)).get().status,
+              serve::QueryStatus::kOk);
+  }
+  const auto slot = fleet.slots().at(0);
+  EXPECT_GT(slot.evictions, 0u);
+  EXPECT_LE(slot.resident_bytes, slot.capacity_bytes);
+  EXPECT_EQ(slot.runs, 4u);
+}
+
+// --- FleetService: fairness and deadlines ----------------------------------
+
+TEST(FleetServiceTest, ShedsPerTenantAtTheQueueBound) {
+  framework::Engine engine(small_engine());
+  Fleet::Config fc;
+  Fleet fleet(engine, fc);
+  FleetService::Config cfg;
+  cfg.dispatchers = 1;
+  FleetService service(engine, fleet, cfg);
+  TenantPolicy tight;
+  tight.queue_limit = 1;
+  tight.block_when_full = false;
+  service.set_tenant_policy("bounded", tight);
+
+  // Saturate: submissions outpace the single dispatcher; the bounded
+  // tenant's overflow sheds with a terminal kRejected reply.
+  std::vector<std::future<serve::QueryReply>> futures;
+  for (int i = 0; i < 12; ++i) {
+    auto req = dataset_query("As-Caida");
+    req.tenant = "bounded";
+    futures.push_back(service.submit(std::move(req)));
+  }
+  std::uint64_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const auto reply = f.get();
+    if (reply.status == serve::QueryStatus::kOk) {
+      ++ok;
+    } else {
+      EXPECT_EQ(reply.status, serve::QueryStatus::kRejected);
+      EXPECT_EQ(reply.error, "tenant queue full (shed)");
+      EXPECT_EQ(reply.tenant, "bounded");
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  const auto stats = service.tenant_stats().at("bounded");
+  EXPECT_EQ(stats.ok, ok);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.ok + stats.shed, 12u);
+}
+
+TEST(FleetServiceTest, ExpiredDeadlinesShedBeforeTheKernel) {
+  framework::Engine engine(small_engine());
+  Fleet::Config fc;
+  Fleet fleet(engine, fc);
+  FleetService::Config cfg;
+  cfg.dispatchers = 1;
+  FleetService service(engine, fleet, cfg);
+
+  // Sub-microsecond deadlines expire in the scheduler queue with certainty;
+  // the first query may still win the race to the dispatcher, so assert on
+  // the backlog, not every reply.
+  std::vector<std::future<serve::QueryReply>> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto req = dataset_query("As-Caida");
+    req.tenant = "slo";
+    req.deadline_ms = 1e-6;
+    futures.push_back(service.submit(std::move(req)));
+  }
+  std::uint64_t expired = 0;
+  for (auto& f : futures) {
+    const auto reply = f.get();
+    if (reply.status == serve::QueryStatus::kDeadlineExpired) ++expired;
+  }
+  EXPECT_GT(expired, 0u);
+  EXPECT_EQ(service.tenant_stats().at("slo").expired, expired);
+}
+
+TEST(FleetServiceTest, MixedTenantsAllComplete) {
+  framework::Engine engine(small_engine());
+  Fleet::Config fc;
+  fc.devices = 2;
+  Fleet fleet(engine, fc);
+  FleetService::Config cfg;
+  cfg.dispatchers = 2;
+  FleetService service(engine, fleet, cfg);
+  service.set_tenant_policy("a", TenantPolicy{2.0, 0, true});
+  service.set_tenant_policy("b", TenantPolicy{1.0, 0, true});
+
+  std::vector<std::future<serve::QueryReply>> futures;
+  for (int i = 0; i < 10; ++i) {
+    auto req = dataset_query(i % 2 ? "As-Caida" : "Email-EuAll");
+    req.tenant = i % 2 ? "a" : "b";
+    futures.push_back(service.submit(std::move(req)));
+  }
+  for (auto& f : futures) {
+    const auto reply = f.get();
+    EXPECT_EQ(reply.status, serve::QueryStatus::kOk);
+    EXPECT_TRUE(reply.valid || reply.cache_hit);
+  }
+  const auto stats = service.tenant_stats();
+  EXPECT_EQ(stats.at("a").ok, 5u);
+  EXPECT_EQ(stats.at("b").ok, 5u);
+}
+
+}  // namespace
+}  // namespace tcgpu::fleet

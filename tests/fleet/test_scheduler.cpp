@@ -1,0 +1,155 @@
+#include "fleet/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tcgpu::fleet {
+namespace {
+
+TenantPolicy shedding(std::size_t limit, double weight = 1.0) {
+  TenantPolicy p;
+  p.weight = weight;
+  p.queue_limit = limit;
+  p.block_when_full = false;
+  return p;
+}
+
+/// Pushes `n` items for `tenant`, values tenant:index.
+void push_n(Scheduler<std::string>& s, const std::string& tenant, int n) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(s.push(tenant, 0, tenant + ":" + std::to_string(i)),
+              AdmitResult::kAdmitted);
+  }
+}
+
+TEST(SchedulerWfq, SaturatedSharesFollowWeights) {
+  Scheduler<std::string> s;
+  s.set_policy("heavy", shedding(0, 3.0));
+  s.set_policy("light", shedding(0, 1.0));
+  // Backlog both tenants fully before any dispatch: the pop order is then a
+  // pure function of the tags, independent of arrival interleaving.
+  push_n(s, "light", 12);
+  push_n(s, "heavy", 12);
+
+  std::map<std::string, int> share;
+  for (int i = 0; i < 8; ++i) {
+    auto v = s.pop();
+    ASSERT_TRUE(v.has_value());
+    share[v->substr(0, v->find(':'))]++;
+  }
+  // First 8 dispatch slots split 3:1 — tags advance by 1/3 vs 1.
+  EXPECT_EQ(share["heavy"], 6);
+  EXPECT_EQ(share["light"], 2);
+}
+
+TEST(SchedulerWfq, DispatchOrderIsDeterministic) {
+  // Same admission sequence twice -> identical dispatch sequence.
+  std::vector<std::string> first, second;
+  for (std::vector<std::string>* out : {&first, &second}) {
+    Scheduler<std::string> s;
+    s.set_policy("a", shedding(0, 2.0));
+    s.set_policy("b", shedding(0, 1.0));
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_EQ(s.push(i % 2 ? "a" : "b", 0, "x" + std::to_string(i)),
+                AdmitResult::kAdmitted);
+    }
+    while (out->size() < 6) out->push_back(*s.pop());
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(SchedulerWfq, IdleTenantBanksNoCredit) {
+  Scheduler<std::string> s;
+  s.set_policy("busy", shedding(0));
+  s.set_policy("late", shedding(0));
+  // "busy" runs alone for a while, raising the virtual-time floor.
+  push_n(s, "busy", 8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(s.pop().has_value());
+  // A late joiner restarts at the floor: with equal weights the next window
+  // alternates instead of draining the idle tenant's "saved up" share.
+  push_n(s, "busy", 4);
+  push_n(s, "late", 4);
+  std::map<std::string, int> first_four;
+  for (int i = 0; i < 4; ++i) {
+    first_four[s.pop()->substr(0, 4)]++;
+  }
+  EXPECT_EQ(first_four["busy"], 2);
+  EXPECT_EQ(first_four["late"], 2);
+}
+
+TEST(SchedulerEdf, DeadlineItemsJumpBulkWork) {
+  Scheduler<std::string> s;
+  s.set_policy("bulk", shedding(0));
+  s.set_policy("slo", shedding(0));
+  push_n(s, "bulk", 5);
+  ASSERT_EQ(s.push("slo", 200, "slo:late"), AdmitResult::kAdmitted);
+  ASSERT_EQ(s.push("slo", 100, "slo:urgent"), AdmitResult::kAdmitted);
+  // EDF dispatches the deadline heads before any bulk item. Heads pop in
+  // per-tenant FIFO order, so "late" (the queue head) goes first, then
+  // "urgent" — after which bulk resumes.
+  EXPECT_EQ(*s.pop(), "slo:late");
+  EXPECT_EQ(*s.pop(), "slo:urgent");
+  EXPECT_EQ(s.pop()->substr(0, 4), "bulk");
+}
+
+TEST(SchedulerEdf, EarliestDeadlineAcrossTenantsWins) {
+  Scheduler<std::string> s;
+  ASSERT_EQ(s.push("a", 300, "a:300"), AdmitResult::kAdmitted);
+  ASSERT_EQ(s.push("b", 100, "b:100"), AdmitResult::kAdmitted);
+  ASSERT_EQ(s.push("c", 200, "c:200"), AdmitResult::kAdmitted);
+  EXPECT_EQ(*s.pop(), "b:100");
+  EXPECT_EQ(*s.pop(), "c:200");
+  EXPECT_EQ(*s.pop(), "a:300");
+}
+
+TEST(SchedulerBackpressure, ShedIsPerTenant) {
+  Scheduler<std::string> s;
+  s.set_policy("bounded", shedding(2));
+  s.set_policy("other", shedding(2));
+  ASSERT_EQ(s.push("bounded", 0, "1"), AdmitResult::kAdmitted);
+  ASSERT_EQ(s.push("bounded", 0, "2"), AdmitResult::kAdmitted);
+  // The bound sheds only this tenant's overflow...
+  EXPECT_EQ(s.push("bounded", 0, "3"), AdmitResult::kShed);
+  // ...while another tenant still admits.
+  EXPECT_EQ(s.push("other", 0, "x"), AdmitResult::kAdmitted);
+
+  const auto counters = s.counters();
+  EXPECT_EQ(counters.at("bounded").admitted, 2u);
+  EXPECT_EQ(counters.at("bounded").shed, 1u);
+  EXPECT_EQ(counters.at("other").admitted, 1u);
+  EXPECT_EQ(counters.at("other").shed, 0u);
+}
+
+TEST(SchedulerBackpressure, BlockingPushWaitsForPop) {
+  Scheduler<std::string> s;
+  TenantPolicy blocking;
+  blocking.queue_limit = 1;
+  blocking.block_when_full = true;
+  s.set_policy("t", blocking);
+  ASSERT_EQ(s.push("t", 0, "first"), AdmitResult::kAdmitted);
+
+  std::thread pusher([&] {
+    EXPECT_EQ(s.push("t", 0, "second"), AdmitResult::kAdmitted);
+  });
+  // The blocked pusher completes once a slot frees.
+  EXPECT_EQ(*s.pop(), "first");
+  pusher.join();
+  EXPECT_EQ(*s.pop(), "second");
+}
+
+TEST(SchedulerShutdown, CloseDrainsThenSignalsEnd) {
+  Scheduler<std::string> s;
+  push_n(s, "t", 3);
+  s.close();
+  EXPECT_EQ(s.push("t", 0, "late"), AdmitResult::kClosed);
+  // Queued work stays poppable after close; then pop() reports drained.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(s.pop().has_value());
+  EXPECT_FALSE(s.pop().has_value());
+}
+
+}  // namespace
+}  // namespace tcgpu::fleet

@@ -89,6 +89,55 @@ TEST(EnginePool, TracksBytesUploadedPerResidentImage) {
   EXPECT_GT(engine.counters().bytes_uploaded, after_one);
 }
 
+TEST(EnginePool, ResidencyIsUploadedMinusReleasedAtAllTimes) {
+  // Regression: bytes_uploaded used to be the only byte counter, so
+  // residency could only be inferred as a ratchet. The invariant now is
+  // bytes_resident == bytes_uploaded - bytes_released across upload, evict
+  // and release — what fleet::DeviceSlot accounting trusts.
+  Engine engine(small_config());
+  const auto check_invariant = [&] {
+    const auto c = engine.counters();
+    EXPECT_EQ(c.bytes_resident, c.bytes_uploaded - c.bytes_released);
+  };
+
+  const auto pg = engine.prepare("As-Caida");
+  EXPECT_EQ(engine.counters().bytes_resident, 0u);
+  engine.run("Polak", pg);
+  const auto one = engine.counters();
+  EXPECT_GT(one.bytes_resident, 0u);
+  EXPECT_EQ(one.bytes_released, 0u);
+  EXPECT_EQ(engine.device_image_bytes(pg), one.bytes_resident);
+  check_invariant();
+
+  const auto pg2 = engine.prepare("Wiki-Talk");
+  engine.run("Polak", pg2);
+  const auto two = engine.counters();
+  EXPECT_GT(two.bytes_resident, one.bytes_resident);
+  check_invariant();
+
+  // Releasing one image folds its bytes out of residency — and into the
+  // cumulative released counter, never out of bytes_uploaded.
+  engine.release_device(pg);
+  const auto after_release = engine.counters();
+  EXPECT_EQ(after_release.bytes_released, one.bytes_resident);
+  EXPECT_EQ(after_release.bytes_resident,
+            two.bytes_resident - one.bytes_resident);
+  EXPECT_EQ(after_release.bytes_uploaded, two.bytes_uploaded);
+  EXPECT_EQ(engine.device_image_bytes(pg), 0u);
+  check_invariant();
+
+  // Evicting the cache entry drops the remaining image the same way.
+  engine.invalidate("Wiki-Talk");
+  const auto after_evict = engine.counters();
+  EXPECT_EQ(after_evict.bytes_resident, 0u);
+  EXPECT_EQ(after_evict.bytes_released, after_evict.bytes_uploaded);
+  check_invariant();
+
+  // Double release is a no-op, not a double subtraction.
+  engine.release_device(pg);
+  check_invariant();
+}
+
 TEST(EnginePool, PooledRunMatchesFreshDeviceRunBitIdentically) {
   // The pool bases per-run scratch at the resident device's mark, so the
   // simulated address stream — and therefore every metric and the modeled

@@ -164,5 +164,69 @@ TEST(SelectorRefine, DisabledConfigIgnoresObservations) {
   EXPECT_DOUBLE_EQ(sel.refinement("Polak", small_stats()), 1.0);
 }
 
+TEST(SelectorMutation, AsCaidaCrossoverLandsNearBatch1024) {
+  // The pinned calibration contract: at the default cap, As-Caida commits
+  // small batches as deltas and flips to a full recount at batch 1024 —
+  // where bench/stream_churn measures the break-even.
+  Selector sel;
+  const auto st = small_stats();  // As-Caida at the default cap, exactly
+  EXPECT_TRUE(sel.mutation_cost(st, 1).use_delta);
+  EXPECT_TRUE(sel.mutation_cost(st, 512).use_delta);
+  EXPECT_FALSE(sel.mutation_cost(st, 1024).use_delta);
+  EXPECT_FALSE(sel.mutation_cost(st, 100'000).use_delta);
+}
+
+TEST(SelectorMutation, DeltaCostIsLinearInTheBatch) {
+  Selector sel;
+  const auto st = small_stats();
+  const auto one = sel.mutation_cost(st, 1);
+  const auto many = sel.mutation_cost(st, 1'000);
+  EXPECT_GT(many.delta_ms, one.delta_ms);
+  // Recount cost is a property of the graph, not the batch.
+  EXPECT_DOUBLE_EQ(many.recount_ms, one.recount_ms);
+}
+
+TEST(SelectorSharded, OneDeviceIsAPassthrough) {
+  Selector sel;
+  const auto ranked = sel.score(large_stats());
+  const auto& best = ranked.front();
+  const auto pc = sel.sharded_cost(best.algorithm, best.cost, 1,
+                                   large_stats(),
+                                   simt::InterconnectSpec::nvlink());
+  EXPECT_EQ(pc.devices, 1u);
+  EXPECT_DOUBLE_EQ(pc.total_ms, best.cost.modeled_ms);
+  EXPECT_DOUBLE_EQ(pc.comm_ms, 0.0);
+}
+
+TEST(SelectorSharded, KernelShrinksCommGrowsWithWidth) {
+  Selector sel;
+  const auto ranked = sel.score(large_stats());
+  const auto& best = ranked.front();
+  const auto net = simt::InterconnectSpec::nvlink();
+  double prev_kernel = best.cost.modeled_ms;
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    const auto pc =
+        sel.sharded_cost(best.algorithm, best.cost, k, large_stats(), net);
+    EXPECT_LT(pc.kernel_ms, prev_kernel) << k;  // sub-linear but monotone
+    EXPECT_GT(pc.comm_ms, 0.0) << k;
+    EXPECT_DOUBLE_EQ(pc.total_ms, pc.kernel_ms + pc.comm_ms) << k;
+    prev_kernel = pc.kernel_ms;
+  }
+}
+
+TEST(SelectorSharded, SlowerLinksCostMore) {
+  Selector sel;
+  const auto ranked = sel.score(large_stats());
+  const auto& best = ranked.front();
+  const auto nv = sel.sharded_cost(best.algorithm, best.cost, 4,
+                                   large_stats(),
+                                   simt::InterconnectSpec::nvlink());
+  const auto pcie = sel.sharded_cost(best.algorithm, best.cost, 4,
+                                     large_stats(),
+                                     simt::InterconnectSpec::pcie3());
+  EXPECT_GT(pcie.comm_ms, nv.comm_ms);
+  EXPECT_DOUBLE_EQ(pcie.kernel_ms, nv.kernel_ms);  // the link moves only comm
+}
+
 }  // namespace
 }  // namespace tcgpu::serve

@@ -165,5 +165,132 @@ TEST(StreamService, MixedBatchAppliesInSubmissionOrder) {
   EXPECT_TRUE(replies[2].valid);
 }
 
+TEST(StreamServicePinned, VersionPinnedQueryTimeTravels) {
+  framework::Engine engine(small_engine());
+  QueryService service(engine);
+
+  const auto v0 = service.submit(count_query("As-Caida")).get();
+  ASSERT_EQ(v0.status, QueryStatus::kOk);
+  ASSERT_EQ(service.submit(growing_mutation(engine, "As-Caida")).get().status,
+            QueryStatus::kOk);
+  QueryRequest close;
+  close.dataset = "As-Caida";
+  close.insert_edges = {{1, 2}, {2, 3}, {1, 3}};
+  const auto v2 = service.submit(std::move(close)).get();
+  ASSERT_EQ(v2.status, QueryStatus::kOk);
+  ASSERT_EQ(v2.version, 2u);
+
+  // Head answers at v2; a pinned read answers against the retained v1
+  // snapshot — exact, validated, and labeled with the pinned version.
+  auto pinned = count_query("As-Caida");
+  pinned.version = 1;
+  const auto old = service.submit(std::move(pinned)).get();
+  ASSERT_EQ(old.status, QueryStatus::kOk);
+  EXPECT_EQ(old.version, 1u);
+  EXPECT_TRUE(old.valid);
+  EXPECT_EQ(old.triangles, v0.triangles);  // the growth insert closed nothing
+
+  const auto head = service.submit(count_query("As-Caida")).get();
+  ASSERT_EQ(head.status, QueryStatus::kOk);
+  EXPECT_EQ(head.version, 2u);
+  EXPECT_EQ(head.triangles, v2.triangles);
+
+  // Pinned picks latch under their own version label.
+  bool saw_pinned = false;
+  for (const auto& [key, algo] : service.decision_table()) {
+    if (key == "As-Caida@v1") saw_pinned = true;
+  }
+  EXPECT_TRUE(saw_pinned);
+}
+
+TEST(StreamServicePinned, PinErrorsAreOneLiners) {
+  framework::Engine engine(small_engine());
+  QueryService service(engine);
+
+  // No mutation history at all.
+  auto no_history = count_query("As-Caida");
+  no_history.version = 1;
+  const auto a = service.submit(std::move(no_history)).get();
+  EXPECT_EQ(a.status, QueryStatus::kInvalidRequest);
+  EXPECT_NE(a.error.find("no mutation history"), std::string::npos);
+
+  // Outside the retained window (history keeps the last 4 by default).
+  // Each batch inserts a distinct fresh edge so every commit is effective.
+  const auto v = engine.prepare("As-Caida")->stats.num_vertices;
+  for (graph::VertexId i = 0; i < 6; ++i) {
+    QueryRequest grow;
+    grow.dataset = "As-Caida";
+    grow.insert_edges = {{v + 2 * i, v + 2 * i + 1}};
+    const auto r = service.submit(std::move(grow)).get();
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    ASSERT_EQ(r.version, i + 1u);
+  }
+  auto aged_out = count_query("As-Caida");
+  aged_out.version = 1;
+  const auto b = service.submit(std::move(aged_out)).get();
+  EXPECT_EQ(b.status, QueryStatus::kInvalidRequest);
+  EXPECT_NE(b.error.find("outside history window"), std::string::npos);
+
+  // Pinning composes with neither mutations nor inline graphs.
+  auto mut = growing_mutation(engine, "As-Caida");
+  mut.version = 2;
+  const auto c = service.submit(std::move(mut)).get();
+  EXPECT_EQ(c.status, QueryStatus::kInvalidRequest);
+  EXPECT_NE(c.error.find("head version"), std::string::npos);
+
+  QueryRequest inline_pin;
+  inline_pin.edges.num_vertices = 3;
+  inline_pin.edges.edges = {{0, 1}, {1, 2}, {0, 2}};
+  inline_pin.version = 1;
+  const auto d = service.submit(std::move(inline_pin)).get();
+  EXPECT_EQ(d.status, QueryStatus::kInvalidRequest);
+  EXPECT_NE(d.error.find("no version history"), std::string::npos);
+}
+
+TEST(StreamServiceCommitMode, HugeBatchesRecountSmallBatchesDelta) {
+  framework::Engine engine(small_engine());
+  QueryService service(engine);
+
+  // A single-op batch is firmly on the delta side of the cost model.
+  const auto small = service.submit(growing_mutation(engine, "As-Caida")).get();
+  ASSERT_EQ(small.status, QueryStatus::kOk);
+  EXPECT_EQ(small.algorithm, "stream-delta");
+
+  // A batch far past the crossover commits as a full recount — and the
+  // maintained state stays exact either way.
+  const auto before = service.submit(count_query("As-Caida")).get();
+  const auto v = engine.prepare("As-Caida")->stats.num_vertices;
+  QueryRequest bulk;
+  bulk.dataset = "As-Caida";
+  for (graph::VertexId i = 0; i < 4'000; ++i) {
+    bulk.insert_edges.push_back({v + 2 + i, v + 2 + i + 1});
+  }
+  const auto huge = service.submit(std::move(bulk)).get();
+  ASSERT_EQ(huge.status, QueryStatus::kOk);
+  EXPECT_EQ(huge.algorithm, "stream-recount");
+  EXPECT_EQ(huge.triangles, before.triangles);  // a path chain closes nothing
+
+  const auto after = service.submit(count_query("As-Caida")).get();
+  ASSERT_EQ(after.status, QueryStatus::kOk);
+  EXPECT_TRUE(after.valid);
+  EXPECT_EQ(after.triangles, huge.triangles);
+}
+
+TEST(StreamServiceCommitMode, DisabledModelAlwaysTakesTheDelta) {
+  framework::Engine engine(small_engine());
+  QueryService::Config cfg;
+  cfg.mutation_model = false;
+  QueryService service(engine, cfg);
+  const auto v = engine.prepare("As-Caida")->stats.num_vertices;
+  QueryRequest bulk;
+  bulk.dataset = "As-Caida";
+  for (graph::VertexId i = 0; i < 4'000; ++i) {
+    bulk.insert_edges.push_back({v + 2 + i, v + 2 + i + 1});
+  }
+  const auto reply = service.submit(std::move(bulk)).get();
+  ASSERT_EQ(reply.status, QueryStatus::kOk);
+  EXPECT_EQ(reply.algorithm, "stream-delta");
+}
+
 }  // namespace
 }  // namespace tcgpu::serve

@@ -191,6 +191,48 @@ TEST(DynamicGraphGrowth, InsertBeyondVertexCountGrowsTheGraph) {
   EXPECT_EQ(dyn.commit(close).delta_triangles, 1);  // {1, 2, 5}
 }
 
+TEST(DynamicGraphRecount, RecountCommitIsBitIdenticalToDelta) {
+  // Same seed, same churn sequence; one instance commits via the delta
+  // kernel, the other recounts from scratch every batch. The contract: both
+  // publish bit-identical snapshots (count, stats, DAG, per-edge support) —
+  // what lets the serving layer flip modes per batch on pure cost grounds.
+  const auto pg = rmat_graph();
+  DynamicGraph delta(pg.dag);
+  DynamicGraph recount(pg.dag);
+  ChurnGenerator churn_a(123), churn_b(123);
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = churn_a.next_batch(*delta.snapshot(), 64);
+    const auto same = churn_b.next_batch(*recount.snapshot(), 64);
+    const auto dr = delta.commit(batch, CommitMode::kDelta);
+    const auto rr = recount.commit(same, CommitMode::kRecount);
+    EXPECT_FALSE(dr.recounted);
+    EXPECT_TRUE(rr.recounted);
+    EXPECT_EQ(dr.version, rr.version);
+    EXPECT_EQ(dr.triangles, rr.triangles);
+    EXPECT_EQ(dr.delta_triangles, rr.delta_triangles);
+    EXPECT_EQ(dr.inserted, rr.inserted);
+    EXPECT_EQ(dr.removed, rr.removed);
+  }
+  const auto a = delta.snapshot();
+  const auto b = recount.snapshot();
+  expect_stats_eq(a->stats(), b->stats());
+  const auto dag_a = a->materialize_dag();
+  const auto dag_b = b->materialize_dag();
+  ASSERT_EQ(dag_a.row_ptr(), dag_b.row_ptr());
+  ASSERT_EQ(dag_a.col(), dag_b.col());
+  EXPECT_EQ(a->materialize_support(), b->materialize_support());
+}
+
+TEST(DynamicGraphRecount, RecountNoOpBatchKeepsTheVersion) {
+  DynamicGraph dyn(path_dag());
+  const std::vector<EdgeOp> noop = {{0, 1, true},  // duplicate insert
+                                    {0, 2, false}};  // absent delete
+  const auto before = dyn.version();
+  const auto res = dyn.commit(noop, CommitMode::kRecount);
+  EXPECT_FALSE(res.changed);
+  EXPECT_EQ(dyn.version(), before);
+}
+
 TEST(DynamicGraphStats, MatchFreshComputeAfterChurn) {
   const auto pg = rmat_graph();
   DynamicGraph dyn(pg.dag);
