@@ -7,14 +7,18 @@
 // single-device baseline, the load imbalance (max/mean device kernel time)
 // and the partition's replication cost.
 //
-// Defaults sweep N in {1, 2, 4, 8} and all three strategies; --gpus=N and
-// --partition=range|hash|2d pin one of either. A cell whose aggregated
-// count mismatches the CPU reference is flagged with '!' and fails the run.
+// Defaults sweep N in {1, 2, 4, 8} on NVLink and all partition strategies;
+// --gpus=N, --partition=range|hash|2d|host and --interconnect=NAME pin one
+// of each. A cell whose aggregated count mismatches the CPU reference is
+// flagged with '!' and fails the run. Machine-readable output shares its
+// schema with the multi-node sweep (scaling_schema.hpp; this bench's rows
+// are the single-host degenerate case — hosts=1, zero inter-host bytes).
 #include <iostream>
 
 #include "dist/runner.hpp"
 #include "framework/engine.hpp"
 #include "framework/report.hpp"
+#include "scaling_schema.hpp"
 
 int main(int argc, char** argv) {
   using namespace tcgpu;
@@ -34,14 +38,13 @@ int main(int argc, char** argv) {
           ? dist::all_partition_strategies()
           : std::vector<dist::PartitionStrategy>{
                 dist::partition_strategy_from_string(opt.partition)};
+  const simt::InterconnectSpec link = simt::interconnect_spec_from_string(
+      opt.interconnect.empty() ? "nvlink" : opt.interconnect);
 
   const auto& algos = framework::extended_algorithms();
   framework::Engine engine(opt);
 
-  framework::ResultTable table(
-      {"dataset", "algorithm", "partition", "gpus", "device_ms", "comm_ms",
-       "total_ms", "speedup", "imbalance", "replication", "ghost_bytes",
-       "valid"});
+  framework::ResultTable table(bench::scaling_columns());
 
   bool all_valid = true;
   for (const auto& ds : gen::paper_datasets()) {
@@ -57,8 +60,7 @@ int main(int argc, char** argv) {
 
     for (const auto strategy : strategies) {
       for (const std::uint32_t n : device_counts) {
-        dist::MultiDeviceRunner runner(
-            engine, {n, strategy, simt::InterconnectSpec::nvlink()});
+        dist::MultiDeviceRunner runner(engine, {n, strategy, link});
         for (const auto& entry : algos) {
           const auto algo = entry.make();
           const dist::MultiRunResult r = runner.run(*algo, graph);
@@ -72,24 +74,14 @@ int main(int argc, char** argv) {
           }
           std::cerr << ']' << (r.valid ? "" : "  ** COUNT MISMATCH **") << '\n';
 
-          table.add_row({graph->name, r.algorithm, to_string(strategy),
-                         std::to_string(n),
-                         framework::ResultTable::fmt(r.device_ms, 4),
-                         framework::ResultTable::fmt(r.comm_ms, 4),
-                         framework::ResultTable::fmt(r.total_ms, 4),
-                         framework::ResultTable::fmt(r.speedup, 2),
-                         framework::ResultTable::fmt(r.load_imbalance, 2),
-                         framework::ResultTable::fmt(
-                             r.partition.replication_factor, 2),
-                         std::to_string(r.ghost_exchange.bytes),
-                         r.valid ? "yes" : "NO"});
+          table.add_row(bench::scaling_row(r, link.name));
         }
       }
     }
   }
 
   framework::emit(table, opt, std::cout,
-                  "Multi-GPU scaling (modeled nvlink), " + opt.gpu +
+                  "Multi-GPU scaling (modeled " + link.name + "), " + opt.gpu +
                       ", edge cap " + std::to_string(opt.max_edges));
   if (!all_valid) {
     std::cerr << "WARNING: at least one aggregated count mismatched the CPU "

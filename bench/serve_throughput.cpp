@@ -21,7 +21,7 @@
 // backend-less QueryService (exit 4 on mismatch). Reports per-M utilization,
 // QPS and latency percentiles, plus per-tenant goodput.
 //
-// Try: serve_throughput --datasets=As-Caida,Soc-Pokec,Com-Orkut \
+// Try: serve_throughput --datasets=As-Caida,Soc-Pokec,Com-Orkut
 //        --clients=4 --queries=120
 //      serve_throughput --fleet --gpus=4 --queries=120
 #include <algorithm>
@@ -87,6 +87,16 @@ int fleet_main(const tcgpu::framework::BenchOptions& opt) {
                  "the fleet size)\n";
     return 2;
   }
+  if (opt.hosts > 1 && opt.gpus == 0) {
+    std::cerr << "--hosts requires --gpus=N in fleet mode (every swept fleet "
+                 "size must be a multiple of the host count)\n";
+    return 2;
+  }
+  if (opt.hosts > 1 && opt.gpus % opt.hosts != 0) {
+    std::cerr << "--gpus must be a multiple of --hosts, got " << opt.gpus
+              << " over " << opt.hosts << '\n';
+    return 2;
+  }
 
   // Mixed traffic shape. Defaults pick light graphs for the small tenant,
   // heavyweights for the huge one, and a mutating dataset that is NOT in
@@ -144,6 +154,15 @@ int fleet_main(const tcgpu::framework::BenchOptions& opt) {
     framework::Engine engine(opt);
     fleet::Fleet::Config fc;
     fc.devices = devices;
+    if (opt.hosts > 1) {
+      // Two-level fleet: NVLink within a host, --interconnect (default
+      // ib-edr) between hosts. Placements that spill past one host's
+      // devices now pay the network and print with an ":<h>h" suffix.
+      fc.hosts = opt.hosts;
+      if (!opt.interconnect.empty()) {
+        fc.inter = simt::interconnect_spec_from_string(opt.interconnect);
+      }
+    }
     fleet::Fleet fleet(engine, fc);
     fleet::FleetService::Config sc;
     sc.dispatchers = clients;

@@ -46,6 +46,7 @@ std::string to_string(PartitionStrategy s) {
     case PartitionStrategy::kRange: return "range";
     case PartitionStrategy::kHash: return "hash";
     case PartitionStrategy::k2D: return "2d";
+    case PartitionStrategy::kHostAware: return "host";
   }
   throw std::invalid_argument("unknown PartitionStrategy value");
 }
@@ -54,13 +55,14 @@ PartitionStrategy partition_strategy_from_string(const std::string& name) {
   if (name == "range") return PartitionStrategy::kRange;
   if (name == "hash") return PartitionStrategy::kHash;
   if (name == "2d") return PartitionStrategy::k2D;
+  if (name == "host") return PartitionStrategy::kHostAware;
   throw std::invalid_argument("unknown partition strategy '" + name +
-                              "' (expected range|hash|2d)");
+                              "' (expected range|hash|2d|host)");
 }
 
 std::vector<PartitionStrategy> all_partition_strategies() {
   return {PartitionStrategy::kRange, PartitionStrategy::kHash,
-          PartitionStrategy::k2D};
+          PartitionStrategy::k2D, PartitionStrategy::kHostAware};
 }
 
 std::uint64_t Shard::recv_bytes() const {
@@ -74,10 +76,14 @@ std::uint64_t Shard::recv_messages() const {
 }
 
 Partitioner::Partitioner(PartitionStrategy strategy, std::uint32_t num_devices,
-                         std::uint64_t seed)
-    : strategy_(strategy), num_devices_(num_devices), seed_(seed) {
+                         std::uint64_t seed, std::uint32_t hosts)
+    : strategy_(strategy), num_devices_(num_devices), seed_(seed), hosts_(hosts) {
   if (num_devices == 0) {
     throw std::invalid_argument("Partitioner: num_devices must be >= 1");
+  }
+  if (hosts == 0 || num_devices % hosts != 0) {
+    throw std::invalid_argument(
+        "Partitioner: num_devices must be a positive multiple of hosts");
   }
   if (strategy == PartitionStrategy::k2D) {
     // Squarest factorization rows * cols == N with rows <= cols.
@@ -104,6 +110,7 @@ Partitioning Partitioner::partition(const graph::Csr& dag) const {
     out.shards[d].device = d;
     out.shards[d].recv_bytes_from.assign(n, 0);
     out.shards[d].recv_messages_from.assign(n, 0);
+    out.shards[d].recv_rows_from.assign(n, 0);
   }
 
   if (n == 1) {
@@ -131,9 +138,11 @@ Partitioning Partitioner::partition(const graph::Csr& dag) const {
     deg_prefix[u + 1] = deg_prefix[u] + dag.degree(u);
   }
 
-  std::vector<std::uint32_t> range_cuts, row_cuts, col_cuts;
+  std::vector<std::uint32_t> range_cuts, row_cuts, col_cuts, host_cuts;
   if (strategy_ == PartitionStrategy::kRange) {
     range_cuts = balanced_cuts(deg_prefix, n);
+  } else if (strategy_ == PartitionStrategy::kHostAware) {
+    host_cuts = balanced_cuts(deg_prefix, hosts_);
   } else if (strategy_ == PartitionStrategy::k2D) {
     row_cuts = balanced_cuts(deg_prefix, grid_rows_);
     // Column blocks balance the *destination* side: weight each vertex by
@@ -150,6 +159,7 @@ Partitioning Partitioner::partition(const graph::Csr& dag) const {
   }
 
   // Home device of a vertex (owns its anchor work and its adjacency row).
+  const std::uint32_t per_host = n / hosts_;
   auto vertex_owner = [&](std::uint32_t u) -> std::uint32_t {
     switch (strategy_) {
       case PartitionStrategy::kRange: return block_of(range_cuts, u);
@@ -157,6 +167,12 @@ Partitioning Partitioner::partition(const graph::Csr& dag) const {
       case PartitionStrategy::k2D:
         return block_of(row_cuts, u) * grid_cols_ +
                hash_owner(seed_, u, grid_cols_);
+      case PartitionStrategy::kHostAware:
+        // Host by degree-balanced range (contiguous, so neighbors — and
+        // their ghost rows — cluster on one host), device within the host
+        // by hash (balance where the link is cheap).
+        return block_of(host_cuts, u) * per_host +
+               (per_host == 1 ? 0 : hash_owner(seed_, u, per_host));
     }
     return 0;
   };
@@ -208,6 +224,7 @@ Partitioning Partitioner::partition(const graph::Csr& dag) const {
         s.ghost_entries += nbrs.size();
         s.recv_bytes_from[vowner[v]] +=
             nbrs.size() * sizeof(std::uint32_t) + kRowHeaderBytes;
+        ++s.recv_rows_from[vowner[v]];
       }
     }
     s.csr = graph::Csr(std::move(row_ptr), std::move(col));

@@ -14,7 +14,7 @@
 // reports their replication cost and the modeled bytes each device must
 // receive over the interconnect to materialize them.
 //
-// Three strategies, mirroring the multi-GPU systems in the literature:
+// Four strategies, mirroring the multi-GPU systems in the literature:
 //   range — contiguous vertex ranges, balanced by out-degree (1D).
 //   hash  — vertices hashed to devices with seeded SplitMix64, TRUST-style.
 //   2d    — DistTC-flavored grid: anchor edge (u,v) goes to device
@@ -22,6 +22,12 @@
 //           (row_block(u), hash(u) mod cols), because a pure 2D edge split
 //           would scatter adj(u) across a row of devices and break the
 //           vertex-anchored kernels' pair enumeration (see DESIGN.md).
+//   host  — two-level, for hosts x devices clusters: vertices go to hosts
+//           in degree-balanced contiguous ranges (minimizes the inter-host
+//           cut — ghosts of a contiguous range mostly live on the same
+//           host), then hash to the host's devices (balances where
+//           communication is cheap). With hosts == 1 it degenerates to
+//           hash over the devices.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +38,9 @@
 
 namespace tcgpu::dist {
 
-enum class PartitionStrategy { kRange, kHash, k2D };
+enum class PartitionStrategy { kRange, kHash, k2D, kHostAware };
 
-/// CLI spelling ("range" / "hash" / "2d").
+/// CLI spelling ("range" / "hash" / "2d" / "host").
 std::string to_string(PartitionStrategy s);
 /// Inverse of to_string; throws std::invalid_argument on anything else.
 PartitionStrategy partition_strategy_from_string(const std::string& name);
@@ -63,9 +69,12 @@ struct Shard {
 
   /// Modeled receive traffic to materialize the ghost rows, grouped by the
   /// owning device (one bulk message per contributing owner). Size N;
-  /// entry [device] is always zero.
+  /// entry [device] is always zero. recv_rows_from counts the ghost rows
+  /// behind each owner's bytes — the message count of an *unbuffered*
+  /// scatter, which is what the cluster model's flat baseline pays.
   std::vector<std::uint64_t> recv_bytes_from;
   std::vector<std::uint64_t> recv_messages_from;
+  std::vector<std::uint64_t> recv_rows_from;
 
   std::uint64_t recv_bytes() const;
   std::uint64_t recv_messages() const;
@@ -96,11 +105,15 @@ struct Partitioning {
 
 class Partitioner {
  public:
-  /// `seed` feeds the SplitMix64 vertex hash (hash and 2d strategies); the
-  /// same (strategy, num_devices, seed, graph) always yields the same
-  /// shards on every platform. num_devices must be >= 1.
+  /// `seed` feeds the SplitMix64 vertex hash (hash, 2d and host-aware
+  /// strategies); the same (strategy, num_devices, seed, hosts, graph)
+  /// always yields the same shards on every platform and every OMP thread
+  /// count. num_devices must be >= 1 and a multiple of `hosts`; devices are
+  /// assigned to hosts in contiguous blocks (device d on host
+  /// d / (num_devices / hosts)) — only the host-aware strategy reads the
+  /// host count, the flat strategies ignore it.
   Partitioner(PartitionStrategy strategy, std::uint32_t num_devices,
-              std::uint64_t seed);
+              std::uint64_t seed, std::uint32_t hosts = 1);
 
   /// Shards an oriented DAG (graph::orient output). N == 1 returns one
   /// whole-graph shard with use_anchor_list == false, whose device image is
@@ -109,6 +122,7 @@ class Partitioner {
 
   PartitionStrategy strategy() const { return strategy_; }
   std::uint32_t num_devices() const { return num_devices_; }
+  std::uint32_t hosts() const { return hosts_; }
 
   /// The 2d strategy's device grid (rows * cols == num_devices); rows == 1
   /// for the other strategies.
@@ -119,6 +133,7 @@ class Partitioner {
   PartitionStrategy strategy_;
   std::uint32_t num_devices_;
   std::uint64_t seed_;
+  std::uint32_t hosts_ = 1;
   std::uint32_t grid_rows_ = 1;
   std::uint32_t grid_cols_ = 1;
 };

@@ -20,10 +20,30 @@ struct MultiDeviceRunner::ShardSet {
   std::vector<simt::Device::Mark> marks;
 };
 
+MultiRunConfig MultiRunConfig::for_cluster(const simt::ClusterSpec& spec,
+                                           PartitionStrategy strategy) {
+  if (spec.hosts == 0 || spec.host.devices == 0) {
+    throw std::invalid_argument(
+        "MultiRunConfig::for_cluster: cluster must have >= 1 host with >= 1 "
+        "device");
+  }
+  MultiRunConfig cfg;
+  cfg.num_devices = spec.num_devices();
+  cfg.strategy = strategy;
+  cfg.interconnect = spec.host.intra;
+  cfg.hosts = spec.hosts;
+  cfg.inter = spec.inter;
+  return cfg;
+}
+
 MultiDeviceRunner::MultiDeviceRunner(framework::Engine& engine, MultiRunConfig cfg)
     : engine_(engine), cfg_(cfg) {
   if (cfg_.num_devices == 0) {
     throw std::invalid_argument("MultiDeviceRunner: num_devices must be >= 1");
+  }
+  if (cfg_.hosts == 0 || cfg_.num_devices % cfg_.hosts != 0) {
+    throw std::invalid_argument(
+        "MultiDeviceRunner: num_devices must be a positive multiple of hosts");
   }
 }
 
@@ -40,7 +60,7 @@ std::shared_ptr<MultiDeviceRunner::ShardSet> MultiDeviceRunner::acquire_shards(
   if (!set->ready) {
     set->keepalive = graph;
     const Partitioner p(cfg_.strategy, cfg_.num_devices,
-                        engine_.config().seed);
+                        engine_.config().seed, cfg_.hosts);
     set->parts = p.partition(graph->dag);
     for (const Shard& s : set->parts.shards) {
       auto dev = std::make_unique<simt::Device>();
@@ -78,6 +98,7 @@ MultiRunResult MultiDeviceRunner::run(const tc::TriangleCounter& algo,
   out.algorithm = algo.name();
   out.dataset = graph->name;
   out.num_devices = n;
+  out.hosts = cfg_.hosts;
   out.strategy = cfg_.strategy;
   out.partition = set->parts.report;
 
@@ -105,11 +126,68 @@ MultiRunResult MultiDeviceRunner::run(const tc::TriangleCounter& algo,
   }
 
   // ---- modeled communication ----------------------------------------------
-  const simt::Interconnect net(cfg_.interconnect, n);
-  out.ghost_exchange = net.scatter(ghost_bytes, ghost_messages);
-  out.count_reduce = net.all_reduce(sizeof(std::uint64_t));
-  out.comm_ms = out.ghost_exchange.time_ms + out.count_reduce.time_ms;
-  out.total_ms = out.device_ms + out.comm_ms;
+  if (cfg_.hosts <= 1) {
+    // Single host: the flat pre-cluster model, kept on its original code
+    // path so every number stays bit-identical to the legacy runner.
+    const simt::Interconnect net(cfg_.interconnect, n);
+    out.ghost_exchange = net.scatter(ghost_bytes, ghost_messages);
+    out.count_reduce = net.all_reduce(sizeof(std::uint64_t));
+    out.comm_ms = out.ghost_exchange.time_ms + out.count_reduce.time_ms;
+    out.total_ms = out.device_ms + out.comm_ms;
+    out.flat_sync_ms = out.total_ms;
+    out.flat_overlap_ms = out.total_ms;
+    out.agg_sync_ms = out.total_ms;
+    out.agg_overlap_ms = out.total_ms;
+  } else {
+    // Two-level cluster: price the partitioner's per-owner traffic matrix on
+    // the link each pair actually crosses, under both message disciplines.
+    std::vector<std::vector<std::uint64_t>> bytes(n), rows(n);
+    for (std::uint32_t d = 0; d < n; ++d) {
+      bytes[d] = set->parts.shards[d].recv_bytes_from;
+      rows[d] = set->parts.shards[d].recv_rows_from;
+    }
+    simt::ClusterSpec cs;
+    cs.hosts = cfg_.hosts;
+    cs.host.devices = n / cfg_.hosts;
+    cs.host.intra = cfg_.interconnect;
+    cs.inter = cfg_.inter;
+    const simt::ClusterInterconnect net(cs, n);
+    const simt::ScatterModel flat =
+        net.scatter(bytes, rows, /*aggregate=*/false, cfg_.flush_buffer_bytes);
+    const simt::ScatterModel agg =
+        net.scatter(bytes, rows, /*aggregate=*/true, cfg_.flush_buffer_bytes);
+    out.count_reduce = net.all_reduce(sizeof(std::uint64_t));
+
+    // Overlapped wall time: every shard races its kernel against its own
+    // incoming scatter (owned-anchor work needs no ghosts, ghost-dependent
+    // intersections schedule last), then the counts reduce.
+    const auto overlapped_ms = [&](const simt::ScatterModel& m) {
+      double shards_done = 0.0;
+      for (std::uint32_t d = 0; d < n; ++d) {
+        shards_done = std::max(
+            shards_done, std::max(m.per_device_ms[d], out.devices[d].stats.time_ms));
+      }
+      return shards_done + out.count_reduce.time_ms;
+    };
+    out.flat_sync_ms =
+        flat.total.time_ms + out.device_ms + out.count_reduce.time_ms;
+    out.flat_overlap_ms = overlapped_ms(flat);
+    out.agg_sync_ms =
+        agg.total.time_ms + out.device_ms + out.count_reduce.time_ms;
+    out.agg_overlap_ms = overlapped_ms(agg);
+
+    const simt::ScatterModel& chosen = cfg_.aggregate ? agg : flat;
+    out.ghost_exchange = chosen.total;
+    out.intra_exchange = chosen.intra;
+    out.inter_exchange = chosen.inter;
+    for (std::uint32_t d = 0; d < n; ++d) {
+      out.devices[d].recv_ms = chosen.per_device_ms[d];
+    }
+    out.comm_ms = out.ghost_exchange.time_ms + out.count_reduce.time_ms;
+    out.total_ms = cfg_.aggregate
+                       ? (cfg_.overlap ? out.agg_overlap_ms : out.agg_sync_ms)
+                       : (cfg_.overlap ? out.flat_overlap_ms : out.flat_sync_ms);
+  }
 
   // ---- imbalance + speedup -------------------------------------------------
   double sum_ms = 0.0;

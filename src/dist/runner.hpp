@@ -1,12 +1,21 @@
-// Simulated multi-GPU execution of the single-device ITC kernels.
+// Simulated multi-GPU / multi-node execution of the single-device ITC
+// kernels.
 //
 // MultiDeviceRunner shards a prepared graph with a Partitioner, keeps one
 // resident device image per shard (the same pooled-upload + based-scratch
 // discipline framework::Engine uses for single-device runs), launches the
 // unmodified kernel on every shard, and models what the real systems pay
 // on top of compute: a ghost-row scatter before the kernels and an
-// all-reduce of the per-device counts after them, both costed by
-// simt::Interconnect.
+// all-reduce of the per-device counts after them. With hosts == 1 both are
+// costed by the flat simt::Interconnect, exactly as before the cluster
+// model existed; with hosts > 1 they ride simt::ClusterInterconnect — the
+// two-level NVLink-within / network-between topology — and the runner
+// additionally models buffered message aggregation (Galois-style bounded
+// flush buffers vs one message per ghost row) and comm/compute overlap
+// (each shard races its kernel against its incoming scatter). All four
+// (aggregation, overlap) combinations are priced from the same kernel
+// executions, so one run reports the flat synchronous baseline next to the
+// pipelined path.
 //
 // Counts aggregate by plain summation — the partitioner assigns each
 // anchor (edge or vertex) to exactly one shard, so per-device counts are
@@ -37,6 +46,32 @@ struct MultiRunConfig {
   /// serving path turns it off — it already has the selector's model and
   /// must not pay an extra full kernel per placed query.
   bool measure_baseline = true;
+
+  // --- two-level cluster (hosts > 1 switches the comm model) ---------------
+  /// Hosts the devices spread over, in contiguous blocks of
+  /// num_devices / hosts. 1 = the single-host model above, bit-identical to
+  /// the pre-cluster runner; > 1 prices ghost traffic per link level
+  /// (`interconnect` within a host, `inter` between hosts) from the
+  /// partitioner's per-owner traffic matrix.
+  std::uint32_t hosts = 1;
+  simt::InterconnectSpec inter = simt::InterconnectSpec::ib_edr();
+  /// Buffered ghost scatter: coalesce per-destination updates into
+  /// flush_buffer_bytes buffers (ceil(bytes / buffer) messages per peer
+  /// pair) instead of one message per ghost row. Cluster path only.
+  bool aggregate = true;
+  std::uint64_t flush_buffer_bytes = simt::kFlushBufferBytes;
+  /// Comm/compute overlap: each shard's kernel runs concurrently with its
+  /// incoming scatter (owned-anchor work needs no ghosts), so the shard
+  /// completes at max(recv, kernel) instead of recv + kernel. Cluster path
+  /// only.
+  bool overlap = true;
+
+  /// The HostSpec x DeviceSpec entry point: a cluster-shaped config for
+  /// `spec` (which must describe >= 1 device per host). Strategy defaults
+  /// to host-aware — the partitioner that minimizes the inter-host cut.
+  static MultiRunConfig for_cluster(
+      const simt::ClusterSpec& spec,
+      PartitionStrategy strategy = PartitionStrategy::kHostAware);
 };
 
 /// One shard's share of a run.
@@ -46,12 +81,18 @@ struct DeviceRun {
   std::uint64_t owned_edges = 0;     ///< anchor edges assigned to the shard
   std::uint64_t anchor_vertices = 0; ///< anchor vertices assigned
   simt::KernelStats stats;           ///< this shard's kernel launches
+  /// Cluster path: this shard's own scatter-receive time under the
+  /// configured aggregation — what its kernel overlaps against. Its
+  /// serialized completion is recv_ms + stats.time_ms, its overlapped one
+  /// max(recv_ms, stats.time_ms). Zero on the single-host path.
+  double recv_ms = 0.0;
 };
 
 struct MultiRunResult {
   std::string algorithm;
   std::string dataset;
   std::uint32_t num_devices = 1;
+  std::uint32_t hosts = 1;
   PartitionStrategy strategy = PartitionStrategy::kRange;
 
   std::uint64_t triangles = 0;  ///< sum over shards (modeled all-reduce)
@@ -64,7 +105,21 @@ struct MultiRunResult {
   simt::TransferStats ghost_exchange;  ///< pre-kernel ghost-row scatter
   simt::TransferStats count_reduce;    ///< post-kernel count all-reduce
   double comm_ms = 0.0;   ///< ghost_exchange + count_reduce time
-  double total_ms = 0.0;  ///< device_ms + comm_ms
+  double total_ms = 0.0;  ///< modeled wall time under the configured flags
+
+  /// Cluster path: the same run priced under every (aggregation, overlap)
+  /// combination, so a sweep reports the flat synchronous baseline and the
+  /// optimized path from one set of kernel executions. total_ms equals the
+  /// combination the config selected. On the single-host path all four
+  /// equal device_ms + comm_ms.
+  double flat_sync_ms = 0.0;     ///< per-row messages, scatter then compute
+  double flat_overlap_ms = 0.0;  ///< per-row messages hidden behind compute
+  double agg_sync_ms = 0.0;      ///< buffered messages, scatter then compute
+  double agg_overlap_ms = 0.0;   ///< buffered + hidden — the full pipeline
+  /// Cluster path: ghost_exchange split by link level (intra + inter ==
+  /// ghost_exchange bytes/messages). Empty on the single-host path.
+  simt::TransferStats intra_exchange;
+  simt::TransferStats inter_exchange;
 
   double single_device_ms = 0.0;  ///< same algorithm, whole graph, one device
   double speedup = 0.0;           ///< single_device_ms / total_ms

@@ -14,7 +14,8 @@ Fleet::Fleet(framework::Engine& engine, Config cfg)
       placer_(selector_,
               Placer::Config{std::max(1u, cfg.devices), cfg.max_shards,
                              cfg.strategy, cfg.interconnect,
-                             cfg.shard_min_kernel_ms, cfg.min_speedup}) {
+                             cfg.shard_min_kernel_ms, cfg.min_speedup,
+                             std::max(1u, cfg.hosts), cfg.inter}) {
   const std::uint32_t n = std::max(1u, cfg_.devices);
   const std::uint64_t capacity =
       cfg_.device_capacity_bytes != 0
@@ -29,16 +30,23 @@ Fleet::Fleet(framework::Engine& engine, Config cfg)
 
 Placement Fleet::placement_for(const serve::ExecutionRequest& req) {
   const auto key = std::make_pair(req.key, req.version);
+  std::vector<double> busy;
   {
     std::lock_guard lk(mu_);
     const auto it = placements_.find(key);
     if (it != placements_.end()) return it->second;
+    if (cfg_.load_aware) {
+      busy.reserve(slots_.size());
+      for (const DeviceSlot& s : slots_) busy.push_back(s.busy_ms);
+    }
   }
   // Latched on first decision per (graph, version) — like selector picks —
   // and computed from stats + config only (never load), so the table is
-  // reproducible across worker counts and arrival orders.
+  // reproducible across worker counts and arrival orders. The opt-in
+  // load-aware mode folds a snapshot of the slots' queued time into that
+  // first decision instead (the latch still holds afterwards).
   const Placement pl =
-      placer_.decide(req.algorithm, req.modeled, req.graph->stats);
+      placer_.decide(req.algorithm, req.modeled, req.graph->stats, busy);
   std::lock_guard lk(mu_);
   return placements_.emplace(key, pl).first->second;
 }
@@ -52,6 +60,20 @@ dist::MultiDeviceRunner& Fleet::runner_for(std::uint32_t shards) {
     rc.strategy = cfg_.strategy;
     rc.interconnect = cfg_.interconnect;
     rc.measure_baseline = false;  // the serving path never pays an extra run
+    // On a cluster, a width that spills past one host's devices runs over
+    // the two-level comm model. Hosts fill in contiguous blocks, so the
+    // shard count per host is the width split over the fewest power-of-two
+    // hosts that fit it (widths are powers of two; a power-of-two host
+    // count always divides one).
+    if (cfg_.hosts > 1) {
+      const std::uint32_t per_host =
+          std::max(1u, std::max(1u, cfg_.devices) / cfg_.hosts);
+      const std::uint32_t need = (shards + per_host - 1) / per_host;
+      std::uint32_t h = 1;
+      while (h < need) h <<= 1;
+      rc.hosts = std::min(h, shards);
+      rc.inter = cfg_.inter;
+    }
     runner = std::make_unique<dist::MultiDeviceRunner>(engine_, rc);
   }
   return *runner;

@@ -59,6 +59,17 @@ class Fleet : public serve::ExecutionBackend {
     bool result_cache = true;
     /// Per-device image budget; 0 = framework::device_budget_bytes(spec).
     std::uint64_t device_capacity_bytes = 0;
+    /// Hosts the devices spread over (contiguous blocks of devices / hosts;
+    /// must divide devices). 1 = flat single-host fleet, bit-identical to
+    /// the pre-cluster behavior; > 1 prices placements on the two-level
+    /// model (`interconnect` within a host, `inter` between) and runs
+    /// cross-host shards through the cluster-aware MultiDeviceRunner.
+    std::uint32_t hosts = 1;
+    simt::InterconnectSpec inter = simt::InterconnectSpec::ib_edr();
+    /// Opt-in load-aware placement: fold each slot's queued busy_ms into
+    /// decide() (see Placer). Off by default — placements stay a pure
+    /// function of (stats, config) and the placement table stays pinnable.
+    bool load_aware = false;
   };
 
   /// Borrows the engine (it must outlive the fleet). The placement cost

@@ -13,11 +13,20 @@
 // Determinism contract: decide() is a pure function of (stats, single-device
 // score, config) — never of device load or arrival order — so placement
 // tables are reproducible across worker counts and pinnable in CI exactly
-// like the selector's decision table.
+// like the selector's decision table. The load-aware overload is the
+// explicit opt-out: it additionally charges each width the modeled wait for
+// its devices to drain, trading the reproducible table for queueing-aware
+// decisions (with an all-idle fleet it reduces to the pure function).
+//
+// On a cluster (Config::hosts > 1) widths are priced through the selector's
+// two-level overload: a width that fits one host pays only the intra link,
+// identical to the flat model, while wider placements pay the inter-host
+// link for the ghost share and all-reduce hops that cross a boundary.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dist/partition.hpp"
 #include "graph/stats.hpp"
@@ -33,7 +42,10 @@ struct Placement {
   serve::PlacementCost cost;  ///< modeled cost of the decision taken
   double single_ms = 0.0;     ///< the single-device alternative
 
-  /// Stable label for tables and CI pinning: "single" or "shard<k>:<strat>".
+  /// Stable label for tables and CI pinning: "single" or "shard<k>:<strat>",
+  /// with ":<h>h" appended when the placement crosses host boundaries
+  /// ("shard8:range:2h") — single-host labels are unchanged from the
+  /// pre-cluster placer.
   std::string describe() const;
 };
 
@@ -52,11 +64,18 @@ class Placer {
     double shard_min_kernel_ms = 0.05;
     /// Required modeled speedup (single / sharded total) before sharding.
     double min_speedup = 1.2;
+    /// Hosts the fleet's devices spread over (contiguous blocks of
+    /// devices / hosts). 1 = flat single-host pricing, bit-identical to the
+    /// pre-cluster placer; > 1 prices each width on the two-level model
+    /// (`interconnect` within a host, `inter` between hosts). Must divide
+    /// `devices`.
+    std::uint32_t hosts = 1;
+    simt::InterconnectSpec inter = simt::InterconnectSpec::ib_edr();
   };
 
   /// Borrows the selector (for sharded_cost); it must outlive the placer.
-  Placer(const serve::Selector& selector, Config cfg)
-      : selector_(selector), cfg_(cfg) {}
+  /// Throws std::invalid_argument when hosts doesn't divide devices.
+  Placer(const serve::Selector& selector, Config cfg);
 
   /// Picks the cheapest admissible placement of `algorithm` (already chosen
   /// by the selector, scored as `single`) for a graph with these stats.
@@ -64,9 +83,25 @@ class Placer {
                    const serve::CostBreakdown& single,
                    const graph::GraphStats& stats) const;
 
+  /// Load-aware variant: adds to each width's score the modeled wait for
+  /// that many devices to drain — slot_busy_ms[i] is device i's queued
+  /// kernel time, and a width-k placement waits for the k-th least-busy
+  /// device. Admissibility (shard_min_kernel_ms, min_speedup) still uses
+  /// load-free modeled times, so load shifts choices only among already
+  /// admissible widths. With an all-idle fleet this is exactly decide().
+  Placement decide(const std::string& algorithm,
+                   const serve::CostBreakdown& single,
+                   const graph::GraphStats& stats,
+                   const std::vector<double>& slot_busy_ms) const;
+
   const Config& config() const { return cfg_; }
 
  private:
+  serve::PlacementCost width_cost(const std::string& algorithm,
+                                  const serve::CostBreakdown& single,
+                                  std::uint32_t devices,
+                                  const graph::GraphStats& stats) const;
+
   const serve::Selector& selector_;
   Config cfg_;
 };

@@ -6,6 +6,7 @@
 
 #include "framework/registry.hpp"
 #include "gen/paper_datasets.hpp"
+#include "simt/gpu_spec.hpp"
 
 namespace tcgpu::framework {
 namespace {
@@ -92,11 +93,36 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       }
       opt.gpus = static_cast<std::uint32_t>(n);
     } else if (take_flag(arg, "partition", &value)) {
-      if (value != "range" && value != "hash" && value != "2d") {
+      if (value != "range" && value != "hash" && value != "2d" &&
+          value != "host") {
         throw std::invalid_argument("unknown --partition '" + value +
-                                    "' (use range, hash or 2d)");
+                                    "' (use range, hash, 2d or host)");
       }
       opt.partition = value;
+    } else if (take_flag(arg, "hosts", &value)) {
+      // --hosts=H or --hosts=HxD (the HostSpec x DeviceSpec spelling: H
+      // hosts of D devices each, which also pins gpus = H * D).
+      const std::size_t x = value.find('x');
+      const std::string hosts_part = value.substr(0, x);
+      const std::uint64_t h = parse_u64(hosts_part, "hosts");
+      if (h < 1 || h > 64) {
+        throw std::invalid_argument("--hosts host count must be in [1, 64], got " +
+                                    hosts_part);
+      }
+      opt.hosts = static_cast<std::uint32_t>(h);
+      if (x != std::string::npos) {
+        const std::string dev_part = value.substr(x + 1);
+        const std::uint64_t d = parse_u64(dev_part, "hosts");
+        if (d < 1 || h * d > 64) {
+          throw std::invalid_argument(
+              "--hosts=HxD needs 1 <= D and H*D <= 64, got " + value);
+        }
+        opt.gpus = static_cast<std::uint32_t>(h * d);
+      }
+    } else if (take_flag(arg, "interconnect", &value)) {
+      simt::interconnect_spec_from_string(value);  // reject typos with the
+                                                   // preset list, exit 2
+      opt.interconnect = value;
     } else if (take_flag(arg, "datasets", &value)) {
       for (auto& item : split_list(value)) {
         gen::dataset_by_name(item);  // reject typos with exit 2 and the list

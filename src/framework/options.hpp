@@ -26,8 +26,16 @@ struct BenchOptions {
   /// Multi-GPU benches only (src/dist/). 0 = sweep the default device
   /// counts; an explicit --gpus=N (1..64) runs just that N.
   std::uint32_t gpus = 0;
-  /// "" = sweep all partition strategies; otherwise "range" | "hash" | "2d".
+  /// "" = sweep all partition strategies; otherwise "range" | "hash" | "2d"
+  /// | "host".
   std::string partition;
+  /// Cluster benches: hosts the modeled devices spread over. 0 = bench
+  /// default (single host / bench-defined sweep). --hosts=H pins the host
+  /// count; --hosts=HxD pins hosts *and* devices per host (sets gpus=H*D).
+  std::uint32_t hosts = 0;
+  /// Interconnect preset name ("" = bench default). Validated against
+  /// simt::interconnect_spec_from_string: nvlink | pcie3 | eth10g | ib-edr.
+  std::string interconnect;
 
   /// Serving benches only (src/serve/): closed-loop load-generator shape.
   std::size_t clients = 0;    ///< concurrent closed-loop clients; 0 = default
@@ -51,7 +59,8 @@ struct BenchOptions {
 
   /// Parses argv (flags: --max-edges=N --seed=N --full --csv --json
   /// --gpu=NAME --datasets=a,b,c --algos=a,b,c --algo=NAME --jobs=N
-  /// --serial --max-resident=N --gpus=N --partition=range|hash|2d
+  /// --serial --max-resident=N --gpus=N --partition=range|hash|2d|host
+  /// --hosts=H or HxD --interconnect=NAME
   /// --clients=N --queries=N --check-picks=ds:algo,...
   /// --fleet --check-placements=ds:placement,...
   /// --mutations=N --stream-batch=a,b,c --snapshots=N) with

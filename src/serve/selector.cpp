@@ -315,6 +315,79 @@ PlacementCost Selector::sharded_cost(const std::string& algorithm,
   return pc;
 }
 
+PlacementCost Selector::sharded_cost(const std::string& algorithm,
+                                     const CostBreakdown& single,
+                                     std::uint32_t devices,
+                                     const graph::GraphStats& stats,
+                                     const simt::ClusterSpec& cluster) const {
+  if (cluster.hosts == 0 || cluster.host.devices == 0) {
+    throw std::invalid_argument(
+        "Selector::sharded_cost: cluster must have >= 1 host with >= 1 device");
+  }
+  const std::uint32_t k = std::max(1u, devices);
+  const std::uint32_t per_host = cluster.host.devices;
+  const std::uint32_t hosts_used = (k + per_host - 1) / per_host;
+  if (hosts_used <= 1) {
+    // Fits one host: exactly the flat model on the intra link, so placements
+    // that never cross a host boundary price identically to the pre-cluster
+    // selector (and the fleet's pinned single-host tables stay valid).
+    return sharded_cost(algorithm, single, devices, stats, cluster.host.intra);
+  }
+  if (hosts_used > cluster.hosts) {
+    throw std::invalid_argument(
+        "Selector::sharded_cost: placement needs " +
+        std::to_string(hosts_used) + " hosts but the cluster has " +
+        std::to_string(cluster.hosts));
+  }
+
+  PlacementCost pc;
+  pc.devices = k;
+  pc.hosts = hosts_used;
+  double alpha = 0.7;
+  for (const auto& m : models_) {
+    if (m.name == algorithm) {
+      alpha = m.work_exponent;
+      break;
+    }
+  }
+  const double kd = static_cast<double>(k);
+  const double work_ms = std::max(0.0, single.modeled_ms - single.launch_ms);
+  pc.kernel_ms = work_ms / std::pow(kd, alpha) + single.launch_ms;
+
+  // Same E/k-entry ghost volume per shard as the flat model, split by where
+  // the peers sit: a device on a full host has per_host - 1 intra peers and
+  // k - per_host peers behind the network, bytes proportional to the peer
+  // counts (conservative — the host-aware partitioner skews ghosts intra),
+  // one aggregated message per peer. Every shard receives in parallel, so
+  // one device's serialized intra + inter receive is the scatter time.
+  const double ghost_per_dev =
+      4.0 * static_cast<double>(stats.num_undirected_edges) / kd;
+  const double intra_peers = static_cast<double>(per_host - 1);
+  const double inter_peers = static_cast<double>(k - per_host);
+  const double total_peers = std::max(1.0, intra_peers + inter_peers);
+  const auto level_ms = [&](const simt::InterconnectSpec& l, double peers) {
+    const double bytes = ghost_per_dev * peers / total_peers;
+    return peers * l.latency_us * 1e-3 +
+           bytes / (l.peer_bandwidth_gbps * 1e9) * 1e3;
+  };
+  const double scatter_ms = level_ms(cluster.host.intra, intra_peers) +
+                            level_ms(cluster.inter, inter_peers);
+  // Hierarchical count all-reduce: reduce + broadcast trees within a host,
+  // one recursive-doubling exchange among the host leaders.
+  const auto tree_steps = [](std::uint32_t nodes) {
+    std::uint32_t s = 0;
+    for (std::uint32_t span = 1; span < nodes; span <<= 1) ++s;
+    return s;
+  };
+  const double reduce_ms =
+      2.0 * tree_steps(std::min(per_host, k)) *
+          cluster.host.intra.transfer_ms(sizeof(std::uint64_t)) +
+      tree_steps(hosts_used) * cluster.inter.transfer_ms(sizeof(std::uint64_t));
+  pc.comm_ms = scatter_ms + reduce_ms;
+  pc.total_ms = pc.kernel_ms + pc.comm_ms;
+  return pc;
+}
+
 std::size_t Selector::forget(const graph::GraphStats& stats) {
   const std::uint64_t id = graph_identity(stats);
   std::lock_guard lk(mu_);

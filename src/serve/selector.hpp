@@ -93,8 +93,11 @@ struct MutationCost {
 /// `devices` shards. kernel_ms is the slowest shard (the work split is
 /// even, so 1/devices of the work through the sub-linear model), comm_ms
 /// the ghost scatter plus count all-reduce on the modeled interconnect.
+/// hosts > 1 means the placement spills across host boundaries and part of
+/// the ghost traffic was priced on the cluster's inter-host link.
 struct PlacementCost {
   std::uint32_t devices = 1;
+  std::uint32_t hosts = 1;
   double kernel_ms = 0.0;
   double comm_ms = 0.0;
   double total_ms = 0.0;
@@ -190,6 +193,18 @@ class Selector {
                              const CostBreakdown& single, std::uint32_t devices,
                              const graph::GraphStats& stats,
                              const simt::InterconnectSpec& net) const;
+
+  /// Two-level variant: the same split across `devices` shards, but on a
+  /// hosts x devices-per-host cluster. Devices fill hosts in contiguous
+  /// blocks, so a placement that fits one host (devices <= per-host count)
+  /// prices *identically* to the flat overload on the intra link; wider
+  /// placements pay the cluster's inter-host link for the ghost share and
+  /// all-reduce hops that cross a host boundary. Throws when the placement
+  /// needs more hosts than the cluster has.
+  PlacementCost sharded_cost(const std::string& algorithm,
+                             const CostBreakdown& single, std::uint32_t devices,
+                             const graph::GraphStats& stats,
+                             const simt::ClusterSpec& cluster) const;
 
   /// Drops every folded observation for this graph identity (all
   /// algorithms). The serve layer calls it when a streamed graph's version

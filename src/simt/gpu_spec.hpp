@@ -92,6 +92,49 @@ struct InterconnectSpec {
   static InterconnectSpec nvlink();
   /// PCIe 3.0 x16: ~12 GB/s achieved, an order of magnitude more latency.
   static InterconnectSpec pcie3();
+  /// 10 GbE between hosts: ~1.1 GB/s achieved, tens of microseconds per
+  /// message — the topology where per-edge messaging dies and buffered
+  /// aggregation is mandatory.
+  static InterconnectSpec eth10g();
+  /// InfiniBand EDR (100 Gb/s) between hosts: ~11 GB/s achieved, RDMA-class
+  /// latency.
+  static InterconnectSpec ib_edr();
+};
+
+/// Preset lookup by CLI name ("nvlink" | "pcie3" | "eth10g" | "ib-edr");
+/// throws std::invalid_argument listing the valid presets on anything else.
+InterconnectSpec interconnect_spec_from_string(const std::string& name);
+/// The valid preset names, comma-joined, for error messages and --help text.
+std::string valid_interconnect_list();
+
+/// One host of a modeled cluster: how many identical GPUs it carries and the
+/// link that connects them. The GPUs themselves ride the engine's GpuSpec —
+/// hosts are homogeneous, like the paper's testbed nodes.
+struct HostSpec {
+  std::uint32_t devices = 1;                             ///< GPUs per host
+  InterconnectSpec intra = InterconnectSpec::nvlink();   ///< device <-> device
+};
+
+/// A two-level hosts x devices cluster: `hosts` identical HostSpec nodes
+/// joined by a modeled network link. Device d lives on host d / host.devices
+/// (contiguous blocks), so a contiguous device range spans the fewest hosts.
+struct ClusterSpec {
+  std::string name = "single-host";
+  std::uint32_t hosts = 1;
+  HostSpec host;
+  InterconnectSpec inter = InterconnectSpec::ib_edr();   ///< host <-> host
+
+  std::uint32_t num_devices() const { return hosts * host.devices; }
+
+  /// One host, `devices` GPUs on `link` — the degenerate topology every
+  /// pre-cluster code path models.
+  static ClusterSpec single_host(
+      std::uint32_t devices,
+      InterconnectSpec link = InterconnectSpec::nvlink());
+  /// `hosts` NVLink nodes of `devices_per_host` GPUs over 10 GbE.
+  static ClusterSpec ethernet(std::uint32_t hosts, std::uint32_t devices_per_host);
+  /// `hosts` NVLink nodes of `devices_per_host` GPUs over InfiniBand EDR.
+  static ClusterSpec infiniband(std::uint32_t hosts, std::uint32_t devices_per_host);
 };
 
 }  // namespace tcgpu::simt

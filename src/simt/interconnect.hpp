@@ -59,4 +59,71 @@ class Interconnect {
   std::uint32_t num_devices_;
 };
 
+/// Default flush-buffer bound for aggregated ghost scatters: per-destination
+/// updates coalesce into buffers of this size and flush one message per full
+/// buffer (the Galois buffered-message discipline). 4 MiB keeps the modeled
+/// message count per peer pair at ceil(bytes / 4 MiB) instead of one per
+/// ghost row.
+inline constexpr std::uint64_t kFlushBufferBytes = 4ull << 20;
+
+/// One modeled cluster scatter, split by link level. `total.time_ms` is the
+/// critical path (slowest device's receive, intra + inter serialized);
+/// `intra`/`inter` class the same traffic by which link carried it, each
+/// timed as the slowest device's share of that level. `per_device_ms[d]` is
+/// device d's own full receive time — what an overlap model races against
+/// that device's kernel.
+struct ScatterModel {
+  TransferStats total;
+  TransferStats intra;
+  TransferStats inter;
+  std::vector<double> per_device_ms;
+};
+
+/// Two-level interconnect: `spec.host.intra` between devices of one host,
+/// `spec.inter` between hosts. Device d lives on host d / spec.host.devices.
+/// Where the flat Interconnect prices a scatter from per-device aggregates,
+/// this one needs the per-pair traffic matrix — which bytes cross a host
+/// boundary decides which link model prices them.
+class ClusterInterconnect {
+ public:
+  /// Throws std::invalid_argument when the spec describes zero devices or
+  /// num_devices is not hosts x devices-per-host.
+  ClusterInterconnect(ClusterSpec spec, std::uint32_t num_devices);
+
+  const ClusterSpec& spec() const { return spec_; }
+  std::uint32_t num_devices() const { return num_devices_; }
+  std::uint32_t host_of(std::uint32_t device) const {
+    return device / spec_.host.devices;
+  }
+  bool same_host(std::uint32_t a, std::uint32_t b) const {
+    return host_of(a) == host_of(b);
+  }
+  /// The link model pricing traffic between devices a and b.
+  const InterconnectSpec& link(std::uint32_t a, std::uint32_t b) const {
+    return same_host(a, b) ? spec_.host.intra : spec_.inter;
+  }
+
+  /// Ghost scatter from the per-pair traffic matrix: bytes[d][o] (and
+  /// rows[d][o] ghost rows) is what device d receives from owner o. Devices
+  /// receive in parallel, each serializing its own incoming messages.
+  /// `aggregate` selects the message discipline per (d, o) pair:
+  ///   true  — buffered: ceil(bytes / buffer_bytes) coalesced flushes;
+  ///   false — flat: one message per ghost row (the synchronous per-row
+  ///           baseline the buffered path is measured against).
+  ScatterModel scatter(const std::vector<std::vector<std::uint64_t>>& bytes,
+                       const std::vector<std::vector<std::uint64_t>>& rows,
+                       bool aggregate,
+                       std::uint64_t buffer_bytes = kFlushBufferBytes) const;
+
+  /// Hierarchical all-reduce of one per-device payload: binomial reduce tree
+  /// within each host on the intra link, one recursive-doubling exchange
+  /// among the host leaders on the inter link, then an intra broadcast tree.
+  /// Degenerates to Interconnect::all_reduce exactly when hosts == 1.
+  TransferStats all_reduce(std::uint64_t bytes_per_device) const;
+
+ private:
+  ClusterSpec spec_;
+  std::uint32_t num_devices_;
+};
+
 }  // namespace tcgpu::simt

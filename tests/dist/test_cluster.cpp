@@ -1,0 +1,203 @@
+// Multi-node (hosts > 1) behavior of MultiDeviceRunner: the single-host
+// degeneracy pin, count exactness across topologies, the ordering of the
+// four (aggregation, overlap) pricings, and the config plumbing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "dist/runner.hpp"
+#include "framework/runner.hpp"
+#include "simt/gpu_spec.hpp"
+
+namespace tcgpu::dist {
+namespace {
+
+framework::Engine::Config small_config() {
+  framework::Engine::Config cfg;
+  cfg.max_edges = 2000;
+  cfg.workers = 1;
+  return cfg;
+}
+
+/// A 2-hosts x 2-devices config over NVLink within / `inter` between.
+MultiRunConfig cluster_config(PartitionStrategy strategy,
+                              const simt::InterconnectSpec& inter) {
+  MultiRunConfig cfg;
+  cfg.num_devices = 4;
+  cfg.strategy = strategy;
+  cfg.hosts = 2;
+  cfg.inter = inter;
+  return cfg;
+}
+
+TEST(ClusterRunner, HostsMustDivideDevices) {
+  framework::Engine engine(small_config());
+  MultiRunConfig cfg;
+  cfg.num_devices = 4;
+  cfg.hosts = 3;
+  EXPECT_THROW(MultiDeviceRunner(engine, cfg), std::invalid_argument);
+  cfg.hosts = 0;
+  EXPECT_THROW(MultiDeviceRunner(engine, cfg), std::invalid_argument);
+}
+
+TEST(ClusterRunner, ForClusterMirrorsTheSpec) {
+  const auto spec = simt::ClusterSpec::ethernet(2, 4);
+  const MultiRunConfig cfg = MultiRunConfig::for_cluster(spec);
+  EXPECT_EQ(cfg.num_devices, 8u);
+  EXPECT_EQ(cfg.hosts, 2u);
+  EXPECT_EQ(cfg.strategy, PartitionStrategy::kHostAware);
+  EXPECT_EQ(cfg.interconnect.name, spec.host.intra.name);
+  EXPECT_EQ(cfg.inter.name, spec.inter.name);
+}
+
+TEST(ClusterRunner, SingleHostConfigIsBitIdenticalToLegacyRunner) {
+  // hosts == 1 must not even smell of the cluster model: every field of the
+  // result — triangles, simulator metrics, modeled times — matches the
+  // pre-cluster runner bit for bit, for every strategy at N == 4.
+  framework::Engine engine(small_config());
+  const auto graph = engine.prepare("As-Caida");
+  for (const auto s : all_partition_strategies()) {
+    MultiDeviceRunner legacy(engine,
+                             {4, s, simt::InterconnectSpec::nvlink()});
+    MultiRunConfig cfg;
+    cfg.num_devices = 4;
+    cfg.strategy = s;
+    cfg.hosts = 1;
+    cfg.inter = simt::InterconnectSpec::eth10g();  // must be ignored
+    MultiDeviceRunner cluster(engine, cfg);
+
+    const MultiRunResult a = legacy.run("Polak", graph);
+    const MultiRunResult b = cluster.run("Polak", graph);
+    EXPECT_EQ(b.hosts, 1u);
+    EXPECT_EQ(a.triangles, b.triangles) << to_string(s);
+    EXPECT_EQ(a.combined, b.combined) << to_string(s);
+    EXPECT_EQ(a.ghost_exchange, b.ghost_exchange) << to_string(s);
+    EXPECT_EQ(a.count_reduce, b.count_reduce) << to_string(s);
+    EXPECT_DOUBLE_EQ(a.device_ms, b.device_ms) << to_string(s);
+    EXPECT_DOUBLE_EQ(a.comm_ms, b.comm_ms) << to_string(s);
+    EXPECT_DOUBLE_EQ(a.total_ms, b.total_ms) << to_string(s);
+    // All four pricings collapse to the one flat synchronous number.
+    EXPECT_DOUBLE_EQ(b.flat_sync_ms, b.total_ms) << to_string(s);
+    EXPECT_DOUBLE_EQ(b.flat_overlap_ms, b.total_ms) << to_string(s);
+    EXPECT_DOUBLE_EQ(b.agg_sync_ms, b.total_ms) << to_string(s);
+    EXPECT_DOUBLE_EQ(b.agg_overlap_ms, b.total_ms) << to_string(s);
+    EXPECT_EQ(b.intra_exchange, simt::TransferStats{}) << to_string(s);
+    EXPECT_EQ(b.inter_exchange, simt::TransferStats{}) << to_string(s);
+  }
+}
+
+TEST(ClusterRunner, CountsStayExactAcrossTopologies) {
+  // The comm model only prices time; the count must equal the CPU reference
+  // on every topology and strategy.
+  framework::Engine engine(small_config());
+  const auto graph = engine.prepare("As-Caida");
+  for (const auto& inter :
+       {simt::InterconnectSpec::eth10g(), simt::InterconnectSpec::ib_edr()}) {
+    for (const auto s : all_partition_strategies()) {
+      MultiDeviceRunner runner(engine, cluster_config(s, inter));
+      const MultiRunResult r = runner.run("TRUST", graph);
+      EXPECT_TRUE(r.valid) << to_string(s) << " over " << inter.name;
+      EXPECT_EQ(r.triangles, graph->reference_triangles);
+      EXPECT_EQ(r.hosts, 2u);
+    }
+  }
+}
+
+TEST(ClusterRunner, PricesAllFourCombosInOrder) {
+  framework::Engine engine(small_config());
+  const auto graph = engine.prepare("As-Caida");
+  MultiDeviceRunner runner(
+      engine,
+      cluster_config(PartitionStrategy::kHostAware,
+                     simt::InterconnectSpec::eth10g()));
+  const MultiRunResult r = runner.run("Polak", graph);
+
+  // Aggregation can only drop messages; overlap can only hide time. The
+  // full pipeline is the fastest corner, the flat synchronous baseline the
+  // slowest; both come from this one run.
+  EXPECT_GT(r.flat_sync_ms, 0.0);
+  EXPECT_LE(r.agg_sync_ms, r.flat_sync_ms);
+  EXPECT_LE(r.flat_overlap_ms, r.flat_sync_ms);
+  EXPECT_LE(r.agg_overlap_ms, r.agg_sync_ms);
+  EXPECT_LE(r.agg_overlap_ms, r.flat_overlap_ms);
+  // A ghost row is far smaller than the flush buffer, so per-row messaging
+  // on a slow link must strictly lose to the buffered scatter.
+  EXPECT_LT(r.agg_sync_ms, r.flat_sync_ms);
+  // Overlapped shards still finish no earlier than compute alone.
+  EXPECT_GE(r.agg_overlap_ms, r.device_ms);
+
+  // The configured combination (defaults: aggregate + overlap) is what
+  // total_ms reports.
+  EXPECT_DOUBLE_EQ(r.total_ms, r.agg_overlap_ms);
+}
+
+TEST(ClusterRunner, TotalFollowsTheConfiguredComboFlags) {
+  framework::Engine engine(small_config());
+  const auto graph = engine.prepare("As-Caida");
+  const struct {
+    bool aggregate, overlap;
+    double MultiRunResult::* field;
+  } combos[] = {
+      {false, false, &MultiRunResult::flat_sync_ms},
+      {false, true, &MultiRunResult::flat_overlap_ms},
+      {true, false, &MultiRunResult::agg_sync_ms},
+      {true, true, &MultiRunResult::agg_overlap_ms},
+  };
+  for (const auto& c : combos) {
+    MultiRunConfig cfg = cluster_config(PartitionStrategy::kHostAware,
+                                        simt::InterconnectSpec::eth10g());
+    cfg.aggregate = c.aggregate;
+    cfg.overlap = c.overlap;
+    MultiDeviceRunner runner(engine, cfg);
+    const MultiRunResult r = runner.run("Polak", graph);
+    EXPECT_DOUBLE_EQ(r.total_ms, r.*(c.field))
+        << "aggregate=" << c.aggregate << " overlap=" << c.overlap;
+  }
+}
+
+TEST(ClusterRunner, AggregationShrinksMessagesNotBytes) {
+  framework::Engine engine(small_config());
+  const auto graph = engine.prepare("As-Caida");
+  MultiRunConfig flat = cluster_config(PartitionStrategy::kHostAware,
+                                       simt::InterconnectSpec::eth10g());
+  flat.aggregate = false;
+  MultiRunConfig agg = flat;
+  agg.aggregate = true;
+  const MultiRunResult rf =
+      MultiDeviceRunner(engine, flat).run("Polak", graph);
+  const MultiRunResult ra = MultiDeviceRunner(engine, agg).run("Polak", graph);
+
+  // Buffering coalesces per-row updates into bounded flushes: same bytes on
+  // the wire, far fewer messages to pay latency on.
+  EXPECT_EQ(ra.ghost_exchange.bytes, rf.ghost_exchange.bytes);
+  EXPECT_LT(ra.ghost_exchange.messages, rf.ghost_exchange.messages);
+  EXPECT_LT(ra.ghost_exchange.time_ms, rf.ghost_exchange.time_ms);
+}
+
+TEST(ClusterRunner, SplitsExchangeByLinkLevel) {
+  framework::Engine engine(small_config());
+  const auto graph = engine.prepare("As-Caida");
+  MultiDeviceRunner runner(
+      engine,
+      cluster_config(PartitionStrategy::kHostAware,
+                     simt::InterconnectSpec::eth10g()));
+  const MultiRunResult r = runner.run("Polak", graph);
+
+  EXPECT_EQ(r.intra_exchange.bytes + r.inter_exchange.bytes,
+            r.ghost_exchange.bytes);
+  EXPECT_EQ(r.intra_exchange.messages + r.inter_exchange.messages,
+            r.ghost_exchange.messages);
+  // As-Caida sharded four ways ghosts rows in both directions on both
+  // levels.
+  EXPECT_GT(r.intra_exchange.bytes, 0u);
+  EXPECT_GT(r.inter_exchange.bytes, 0u);
+  // Per-shard receive time is populated for the overlap race.
+  double max_recv = 0.0;
+  for (const DeviceRun& d : r.devices) max_recv = std::max(max_recv, d.recv_ms);
+  EXPECT_GT(max_recv, 0.0);
+}
+
+}  // namespace
+}  // namespace tcgpu::dist

@@ -2,10 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "framework/runner.hpp"
 #include "gen/er.hpp"
@@ -31,6 +38,7 @@ TEST(PartitionStrategy, NamesRoundTrip) {
   EXPECT_EQ(to_string(PartitionStrategy::kRange), "range");
   EXPECT_EQ(to_string(PartitionStrategy::kHash), "hash");
   EXPECT_EQ(to_string(PartitionStrategy::k2D), "2d");
+  EXPECT_EQ(to_string(PartitionStrategy::kHostAware), "host");
 }
 
 TEST(PartitionStrategy, UnknownNameFailsLoudly) {
@@ -213,6 +221,148 @@ TEST(Partitioner, PinnedShardSizesOnPaperDataset) {
   }
   EXPECT_EQ(anchor_counts, (std::vector<std::uint64_t>{1745, 1839, 1855, 1802}));
   EXPECT_EQ(owned_edges, (std::vector<std::uint64_t>{4713, 5060, 5208, 5019}));
+}
+
+// --- host-aware (two-level) strategy ----------------------------------------
+
+/// A DAG with strong id locality (vertex u points at u+1 and u+2): range
+/// cuts sever almost nothing, hashing severs almost everything — the shape
+/// that separates the two-level strategy from flat hashing.
+graph::Csr local_dag() {
+  const std::uint32_t n = 256;
+  std::vector<graph::EdgeIndex> row_ptr(n + 1, 0);
+  std::vector<graph::VertexId> col;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (u + 1 < n) col.push_back(u + 1);
+    if (u + 2 < n) col.push_back(u + 2);
+    row_ptr[u + 1] = static_cast<graph::EdgeIndex>(col.size());
+  }
+  return graph::Csr(std::move(row_ptr), std::move(col));
+}
+
+/// Bytes shard d receives from owners on another host (device o lives on
+/// host o / (n / hosts)).
+std::uint64_t inter_host_bytes(const Partitioning& parts, std::uint32_t hosts) {
+  const auto n = static_cast<std::uint32_t>(parts.shards.size());
+  const std::uint32_t per_host = n / hosts;
+  std::uint64_t bytes = 0;
+  for (const Shard& s : parts.shards) {
+    for (std::uint32_t o = 0; o < n; ++o) {
+      if (s.device / per_host != o / per_host) bytes += s.recv_bytes_from[o];
+    }
+  }
+  return bytes;
+}
+
+TEST(Partitioner, HostCountMustDivideDevices) {
+  EXPECT_THROW(Partitioner(PartitionStrategy::kHostAware, 4, 42, 0),
+               std::invalid_argument);
+  EXPECT_THROW(Partitioner(PartitionStrategy::kHostAware, 4, 42, 3),
+               std::invalid_argument);
+  const Partitioner p(PartitionStrategy::kHostAware, 8, 42, 2);
+  EXPECT_EQ(p.hosts(), 2u);
+}
+
+TEST(Partitioner, HostAwareOnOneHostDegeneratesToHash) {
+  // hosts == 1: one degree-balanced block over everything, then hash within
+  // it — exactly the flat hash strategy, shard for shard.
+  const graph::Csr dag = test_dag();
+  const auto host =
+      Partitioner(PartitionStrategy::kHostAware, 4, 42, 1).partition(dag);
+  const auto hash = Partitioner(PartitionStrategy::kHash, 4, 42).partition(dag);
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(host.shards[d].anchors, hash.shards[d].anchors);
+    EXPECT_EQ(host.shards[d].edge_u, hash.shards[d].edge_u);
+    EXPECT_EQ(host.shards[d].csr, hash.shards[d].csr);
+    EXPECT_EQ(host.shards[d].recv_bytes_from, hash.shards[d].recv_bytes_from);
+  }
+}
+
+TEST(Partitioner, HostAwareAnchorsStayInContiguousHostRanges) {
+  // Every anchor on host h must precede every anchor on host h+1: the host
+  // level is a contiguous range cut (that containment is what keeps ghosts
+  // of neighboring vertices on the same host).
+  const graph::Csr dag = test_dag();
+  const std::uint32_t hosts = 2, n = 4, per_host = n / hosts;
+  const Partitioning parts =
+      Partitioner(PartitionStrategy::kHostAware, n, 42, hosts).partition(dag);
+  std::uint32_t host0_max = 0;
+  std::uint32_t host1_min = dag.num_vertices();
+  for (const Shard& s : parts.shards) {
+    for (const std::uint32_t u : s.anchors) {
+      if (s.device / per_host == 0) {
+        host0_max = std::max(host0_max, u);
+      } else {
+        host1_min = std::min(host1_min, u);
+      }
+    }
+  }
+  EXPECT_LT(host0_max, host1_min);
+}
+
+TEST(Partitioner, HostAwareCutsLessInterHostTrafficThanHash) {
+  const graph::Csr dag = local_dag();
+  const std::uint32_t n = 4, hosts = 2;
+  const auto host =
+      Partitioner(PartitionStrategy::kHostAware, n, 42, hosts).partition(dag);
+  const auto hash = Partitioner(PartitionStrategy::kHash, n, 42).partition(dag);
+  // On a locality-friendly graph the range cut crosses hosts only at the
+  // block boundary; hashing scatters neighbors across both hosts.
+  EXPECT_LT(inter_host_bytes(host, hosts), inter_host_bytes(hash, hosts) / 2);
+  EXPECT_GT(inter_host_bytes(host, hosts), 0u);  // the boundary still moves
+}
+
+TEST(Partitioner, RowCountsMatchTheUnbufferedMessageCount) {
+  // recv_rows_from is the flat (per-row) scatter's message matrix: it must
+  // count exactly the ghost rows behind recv_bytes_from, peer by peer.
+  const graph::Csr dag = test_dag();
+  for (const auto s : strategies()) {
+    const Partitioning parts = Partitioner(s, 4, 42, 1).partition(dag);
+    for (const Shard& shard : parts.shards) {
+      std::uint64_t rows = 0;
+      for (std::uint32_t o = 0; o < 4; ++o) {
+        rows += shard.recv_rows_from[o];
+        EXPECT_EQ(shard.recv_rows_from[o] > 0, shard.recv_bytes_from[o] > 0);
+      }
+      EXPECT_EQ(rows, shard.ghost_vertices);
+      EXPECT_EQ(shard.recv_rows_from[shard.device], 0u);
+    }
+  }
+}
+
+TEST(Partitioner, HostAwareIsBitIdenticalAcrossOmpThreadCounts) {
+  // Sharding feeds a deterministic distributed run: the same (strategy,
+  // devices, seed, hosts, graph) must produce byte-identical shards no
+  // matter how many OMP threads the host process runs.
+  const graph::Csr dag = test_dag();
+  int saved = 1;
+#ifdef _OPENMP
+  saved = omp_get_max_threads();
+#endif
+  const auto reference =
+      Partitioner(PartitionStrategy::kHostAware, 8, 42, 2).partition(dag);
+  for (const int threads : {1, 2, 4}) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    (void)threads;
+#endif
+    const auto parts =
+        Partitioner(PartitionStrategy::kHostAware, 8, 42, 2).partition(dag);
+    for (std::uint32_t d = 0; d < 8; ++d) {
+      EXPECT_EQ(parts.shards[d].anchors, reference.shards[d].anchors);
+      EXPECT_EQ(parts.shards[d].edge_u, reference.shards[d].edge_u);
+      EXPECT_EQ(parts.shards[d].edge_v, reference.shards[d].edge_v);
+      EXPECT_EQ(parts.shards[d].csr, reference.shards[d].csr);
+      EXPECT_EQ(parts.shards[d].recv_bytes_from,
+                reference.shards[d].recv_bytes_from);
+      EXPECT_EQ(parts.shards[d].recv_rows_from,
+                reference.shards[d].recv_rows_from);
+    }
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
 }
 
 TEST(Partitioner, EmptyGraphShardsAreEmpty) {

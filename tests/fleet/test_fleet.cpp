@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fleet/placer.hpp"
 #include "fleet/service.hpp"
+#include "serve/selector.hpp"
 #include "serve/service.hpp"
 
 namespace tcgpu::fleet {
@@ -147,6 +150,176 @@ TEST(FleetPlacement, TinyKernelsStaySingle) {
   ASSERT_EQ(reply.status, serve::QueryStatus::kOk);
   EXPECT_FALSE(reply.sharded);
   EXPECT_EQ(reply.placement, "single");
+}
+
+// --- Placer: load-aware scoring and cluster pricing --------------------------
+
+/// Stats dense enough that sharding models as a clear win on a free link
+/// (the shape of Web-BerkStan at the default cap).
+graph::GraphStats dense_stats() {
+  graph::GraphStats s;
+  s.num_vertices = 8'172;
+  s.num_undirected_edges = 100'000;
+  s.avg_out_degree = 12.24;
+  s.max_out_degree = 91;
+  s.sum_out_degree_sq = 3'137'952;
+  s.out_degree_skew = 7.4;
+  return s;
+}
+
+/// A placer config where every width is admissible: free link, no bars.
+Placer::Config open_placer(std::uint32_t devices) {
+  Placer::Config pc;
+  pc.devices = devices;
+  pc.shard_min_kernel_ms = 0.0;
+  pc.min_speedup = 1.0;
+  pc.interconnect = free_link();
+  return pc;
+}
+
+TEST(PlacerConfigTest, HostsMustDivideDevices) {
+  serve::Selector sel;
+  Placer::Config pc;
+  pc.devices = 4;
+  pc.hosts = 3;
+  EXPECT_THROW(Placer(sel, pc), std::invalid_argument);
+  pc.hosts = 0;
+  EXPECT_THROW(Placer(sel, pc), std::invalid_argument);
+  pc.hosts = 2;
+  EXPECT_NO_THROW(Placer(sel, pc));
+}
+
+TEST(PlacerLoad, IdleFleetReproducesThePureDecision) {
+  // The load-aware overload with no queued work is the determinism-contract
+  // decide(): same placement, same modeled cost, bit for bit.
+  serve::Selector sel;
+  Placer placer(sel, open_placer(8));
+  const auto ranked = sel.score(dense_stats());
+  const auto& best = ranked.front();
+  const Placement pure = placer.decide(best.algorithm, best.cost, dense_stats());
+  const Placement zeros = placer.decide(best.algorithm, best.cost,
+                                        dense_stats(),
+                                        std::vector<double>(8, 0.0));
+  EXPECT_TRUE(pure.sharded);  // free link, no bars: going wide always models
+  EXPECT_EQ(pure.describe(), zeros.describe());
+  EXPECT_EQ(pure.shards, zeros.shards);
+  EXPECT_DOUBLE_EQ(pure.cost.total_ms, zeros.cost.total_ms);
+}
+
+TEST(PlacerLoad, SkewedQueuesPullThePlacementOntoIdleDevices) {
+  // Seven devices buried under queued work, one idle: a width-k shard waits
+  // for the k-th least-busy device, so every sharded width pays the mountain
+  // and the single-device placement (idle device, zero wait) wins — the
+  // decision the pure function would never make here.
+  serve::Selector sel;
+  Placer placer(sel, open_placer(8));
+  const auto ranked = sel.score(dense_stats());
+  const auto& best = ranked.front();
+  std::vector<double> busy(8, 1e9);
+  busy[0] = 0.0;
+  const Placement loaded =
+      placer.decide(best.algorithm, best.cost, dense_stats(), busy);
+  EXPECT_FALSE(loaded.sharded);
+  EXPECT_EQ(loaded.describe(), "single");
+  // Admissibility stayed load-free: the same call on an idle fleet shards.
+  EXPECT_TRUE(placer.decide(best.algorithm, best.cost, dense_stats()).sharded);
+}
+
+TEST(PlacerCluster, SlowInterHostLinkKeepsPlacementsWithinAHost) {
+  serve::Selector sel;
+  const auto ranked = sel.score(dense_stats());
+  const auto& best = ranked.front();
+
+  Placer flat_placer(sel, open_placer(8));
+  const Placement flat = flat_placer.decide(best.algorithm, best.cost,
+                                            dense_stats());
+  EXPECT_EQ(flat.shards, 8u);  // free flat link: widest width wins
+
+  // Same fleet split 2 x 4 behind a dreadful network: widths that fit one
+  // host still price on the free intra link, width 8 pays the inter link —
+  // the placer stops at the host boundary.
+  Placer::Config cc = open_placer(8);
+  cc.hosts = 2;
+  cc.inter.name = "test-molasses";
+  cc.inter.peer_bandwidth_gbps = 1e-6;
+  cc.inter.latency_us = 1e6;
+  Placer cluster_placer(sel, cc);
+  const Placement within = cluster_placer.decide(best.algorithm, best.cost,
+                                                 dense_stats());
+  EXPECT_TRUE(within.sharded);
+  EXPECT_EQ(within.shards, 4u);
+  EXPECT_EQ(within.cost.hosts, 1u);
+  EXPECT_EQ(within.describe(), "shard4:range");  // no host suffix intra-host
+}
+
+TEST(PlacerCluster, FastInterLinkGoesWideAndLabelsTheHosts) {
+  serve::Selector sel;
+  const auto ranked = sel.score(dense_stats());
+  const auto& best = ranked.front();
+  Placer::Config cc = open_placer(8);
+  cc.hosts = 2;
+  cc.inter = free_link();  // crossing hosts costs nothing
+  Placer placer(sel, cc);
+  const Placement wide = placer.decide(best.algorithm, best.cost,
+                                       dense_stats());
+  EXPECT_TRUE(wide.sharded);
+  EXPECT_EQ(wide.shards, 8u);
+  EXPECT_EQ(wide.cost.hosts, 2u);
+  EXPECT_EQ(wide.describe(), "shard8:range:2h");
+}
+
+TEST(FleetPlacement, LoadAwareDefaultsOffAndOffTableIsLoadBlind) {
+  EXPECT_FALSE(Fleet::Config{}.load_aware);
+  // Load-blind fleets latch the same placement table no matter how much (or
+  // how unevenly) traffic preceded each decision — the contract the CI
+  // placement pins rely on. Run the same datasets through two fleets with
+  // very different traffic histories and compare tables.
+  const std::vector<std::string> datasets = {"As-Caida", "Email-EuAll",
+                                             "Com-Dblp"};
+  auto make_config = [] {
+    Fleet::Config fc;
+    fc.devices = 4;
+    fc.shard_min_kernel_ms = 0.0;
+    fc.min_speedup = 1.0;
+    fc.interconnect = free_link();
+    fc.result_cache = false;  // every repeat runs a kernel and charges slots
+    return fc;
+  };
+
+  framework::Engine cold_engine(small_engine());
+  Fleet cold(cold_engine, make_config());
+  serve::QueryService::Config sc_cold;
+  sc_cold.backend = &cold;
+  serve::QueryService cold_service(cold_engine, sc_cold);
+  for (const auto& name : datasets) {
+    ASSERT_EQ(cold_service.submit(dataset_query(name)).get().status,
+              serve::QueryStatus::kOk);
+  }
+
+  framework::Engine hot_engine(small_engine());
+  Fleet hot(hot_engine, make_config());
+  serve::QueryService::Config sc_hot;
+  sc_hot.backend = &hot;
+  serve::QueryService hot_service(hot_engine, sc_hot);
+  // Pile work onto the hot fleet's slots before each new dataset decides.
+  for (const auto& name : datasets) {
+    for (int round = 0; round < 3; ++round) {
+      ASSERT_EQ(hot_service.submit(dataset_query("P2p-Gnutella31")).get().status,
+                serve::QueryStatus::kOk);
+    }
+    ASSERT_EQ(hot_service.submit(dataset_query(name)).get().status,
+              serve::QueryStatus::kOk);
+  }
+
+  std::vector<std::pair<std::string, std::string>> cold_table;
+  for (const auto& row : cold.placement_table()) {
+    if (row.first != "P2p-Gnutella31") cold_table.push_back(row);
+  }
+  std::vector<std::pair<std::string, std::string>> hot_table;
+  for (const auto& row : hot.placement_table()) {
+    if (row.first != "P2p-Gnutella31") hot_table.push_back(row);
+  }
+  EXPECT_EQ(cold_table, hot_table);
 }
 
 // --- result cache -----------------------------------------------------------
@@ -307,7 +480,7 @@ TEST(FleetServiceTest, MixedTenantsAllComplete) {
   std::vector<std::future<serve::QueryReply>> futures;
   for (int i = 0; i < 10; ++i) {
     auto req = dataset_query(i % 2 ? "As-Caida" : "Email-EuAll");
-    req.tenant = i % 2 ? "a" : "b";
+    req.tenant = std::string(i % 2 ? "a" : "b");
     futures.push_back(service.submit(std::move(req)));
   }
   for (auto& f : futures) {

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tcgpu::fleet {
@@ -54,7 +55,9 @@ TEST(SchedulerWfq, DispatchOrderIsDeterministic) {
     s.set_policy("a", shedding(0, 2.0));
     s.set_policy("b", shedding(0, 1.0));
     for (int i = 0; i < 6; ++i) {
-      ASSERT_EQ(s.push(i % 2 ? "a" : "b", 0, "x" + std::to_string(i)),
+      std::string payload = "x";
+      payload += std::to_string(i);
+      ASSERT_EQ(s.push(i % 2 ? "a" : "b", 0, std::move(payload)),
                 AdmitResult::kAdmitted);
     }
     while (out->size() < 6) out->push_back(*s.pop());

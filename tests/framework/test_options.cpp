@@ -179,6 +179,57 @@ TEST_F(OptionsTest, BadNumericErrorNamesFlagAndValue) {
   }
 }
 
+TEST_F(OptionsTest, ParsesPartitionHost) {
+  EXPECT_EQ(parse({"--partition=host"}).partition, "host");
+  try {
+    parse({"--partition=rack"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("host"), std::string::npos);
+  }
+}
+
+TEST_F(OptionsTest, ParsesHostsAndHostsTimesDevices) {
+  const auto def = parse({});
+  EXPECT_EQ(def.hosts, 0u);  // 0 = bench default shape
+  EXPECT_EQ(parse({"--hosts=2"}).hosts, 2u);
+  EXPECT_EQ(parse({"--hosts=2"}).gpus, 0u);  // bare H leaves gpus alone
+  // The HostSpec x DeviceSpec spelling pins both dimensions.
+  const auto grid = parse({"--hosts=2x4"});
+  EXPECT_EQ(grid.hosts, 2u);
+  EXPECT_EQ(grid.gpus, 8u);
+  const auto wide = parse({"--hosts=8x8"});
+  EXPECT_EQ(wide.hosts, 8u);
+  EXPECT_EQ(wide.gpus, 64u);
+}
+
+TEST_F(OptionsTest, MalformedHostsFailLoudly) {
+  EXPECT_THROW(parse({"--hosts=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--hosts=65"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--hosts=two"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--hosts=x4"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--hosts=2x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--hosts=2x0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--hosts=8x9"}), std::invalid_argument);  // H*D > 64
+}
+
+TEST_F(OptionsTest, ParsesInterconnectAndRejectsTyposNamingPresets) {
+  EXPECT_TRUE(parse({}).interconnect.empty());  // "" = bench default link
+  EXPECT_EQ(parse({"--interconnect=nvlink"}).interconnect, "nvlink");
+  EXPECT_EQ(parse({"--interconnect=pcie3"}).interconnect, "pcie3");
+  EXPECT_EQ(parse({"--interconnect=eth10g"}).interconnect, "eth10g");
+  EXPECT_EQ(parse({"--interconnect=ib-edr"}).interconnect, "ib-edr");
+  try {
+    parse({"--interconnect=token-ring"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("token-ring"), std::string::npos);
+    EXPECT_NE(msg.find("nvlink"), std::string::npos);  // lists the presets
+    EXPECT_NE(msg.find("ib-edr"), std::string::npos);
+  }
+}
+
 TEST_F(OptionsTest, ParsesServeFlags) {
   const auto opt = parse({"--max-resident=3", "--clients=8", "--queries=500",
                           "--check-picks=As-Caida:Polak,Soc-Pokec:TRUST"});

@@ -228,5 +228,54 @@ TEST(SelectorSharded, SlowerLinksCostMore) {
   EXPECT_DOUBLE_EQ(pcie.kernel_ms, nv.kernel_ms);  // the link moves only comm
 }
 
+TEST(SelectorShardedCluster, WidthFittingOneHostMatchesFlatPricing) {
+  // A shard set that never leaves its host pays only the intra link; the
+  // cluster overload must reproduce the flat overload field for field.
+  Selector sel;
+  const auto ranked = sel.score(large_stats());
+  const auto& best = ranked.front();
+  const auto cluster = simt::ClusterSpec::ethernet(2, 4);
+  for (std::uint32_t k : {1u, 2u, 4u}) {
+    const auto flat = sel.sharded_cost(best.algorithm, best.cost, k,
+                                       large_stats(), cluster.host.intra);
+    const auto two = sel.sharded_cost(best.algorithm, best.cost, k,
+                                      large_stats(), cluster);
+    EXPECT_EQ(two.hosts, 1u) << k;
+    EXPECT_EQ(two.devices, flat.devices) << k;
+    EXPECT_DOUBLE_EQ(two.kernel_ms, flat.kernel_ms) << k;
+    EXPECT_DOUBLE_EQ(two.comm_ms, flat.comm_ms) << k;
+    EXPECT_DOUBLE_EQ(two.total_ms, flat.total_ms) << k;
+  }
+}
+
+TEST(SelectorShardedCluster, CrossingHostsCostsMoreThanStayingIntra) {
+  // Width 4 over 2x2 hosts rides the network for half its peers; the same
+  // width inside one NVLink host does not. Kernel time is width-only.
+  Selector sel;
+  const auto ranked = sel.score(large_stats());
+  const auto& best = ranked.front();
+  const auto split = simt::ClusterSpec::ethernet(2, 2);
+  const auto whole = simt::ClusterSpec::single_host(4);
+  const auto cross =
+      sel.sharded_cost(best.algorithm, best.cost, 4, large_stats(), split);
+  const auto intra =
+      sel.sharded_cost(best.algorithm, best.cost, 4, large_stats(), whole);
+  EXPECT_EQ(cross.hosts, 2u);
+  EXPECT_EQ(intra.hosts, 1u);
+  EXPECT_DOUBLE_EQ(cross.kernel_ms, intra.kernel_ms);
+  EXPECT_GT(cross.comm_ms, intra.comm_ms);
+  EXPECT_GT(cross.total_ms, intra.total_ms);
+}
+
+TEST(SelectorShardedCluster, RejectsWidthsBeyondTheCluster) {
+  Selector sel;
+  const auto ranked = sel.score(large_stats());
+  const auto& best = ranked.front();
+  const auto cluster = simt::ClusterSpec::ethernet(2, 2);  // 4 devices
+  EXPECT_THROW(sel.sharded_cost(best.algorithm, best.cost, 8, large_stats(),
+                                cluster),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tcgpu::serve
